@@ -1,0 +1,52 @@
+#ifndef LAMP_BENCH_BENCH_UTIL_H
+#define LAMP_BENCH_BENCH_UTIL_H
+
+/// \file bench_util.h
+/// Shared option handling for the paper-reproduction bench binaries.
+/// Environment knobs (all optional):
+///   LAMP_SCALE=paper        paper-scale benchmark instances
+///   LAMP_TIME_LIMIT=<sec>   MILP wall-clock cap per instance
+///   LAMP_FILTER=CLZ,RS      restrict to a comma-separated benchmark list
+///   LAMP_CSV=1              CSV instead of aligned tables
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "workloads/workloads.h"
+
+namespace lamp::bench {
+
+inline workloads::Scale envScale() {
+  const char* s = std::getenv("LAMP_SCALE");
+  return (s != nullptr && std::string(s) == "paper") ? workloads::Scale::Paper
+                                                     : workloads::Scale::Default;
+}
+
+inline double envTimeLimit(double fallback) {
+  const char* s = std::getenv("LAMP_TIME_LIMIT");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline bool envCsv() {
+  const char* s = std::getenv("LAMP_CSV");
+  return s != nullptr && std::string(s) == "1";
+}
+
+inline std::vector<workloads::Benchmark> selectedBenchmarks(
+    workloads::Scale scale) {
+  std::vector<workloads::Benchmark> all = workloads::allBenchmarks(scale);
+  const char* f = std::getenv("LAMP_FILTER");
+  if (f == nullptr) return all;
+  const std::string filter = f;
+  std::vector<workloads::Benchmark> out;
+  for (auto& bm : all) {
+    if (filter.find(bm.name) != std::string::npos) out.push_back(std::move(bm));
+  }
+  return out;
+}
+
+}  // namespace lamp::bench
+
+#endif  // LAMP_BENCH_BENCH_UTIL_H

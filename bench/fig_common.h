@@ -1,0 +1,67 @@
+#ifndef LAMP_BENCH_FIG_COMMON_H
+#define LAMP_BENCH_FIG_COMMON_H
+
+/// \file fig_common.h
+/// The Reed-Solomon encoder kernel of Figures 1 and 2: five operations
+/// (shift A, xor B, sign-test C, select D, xor E) with a loop-carried
+/// dependence through the accumulator E, built at the figure's 2-bit
+/// width. The figure's delay model charges every logic operation or LUT
+/// 2 ns against a 5 ns clock.
+
+#include "ir/builder.h"
+#include "ir/passes.h"
+#include "sched/delay_model.h"
+
+namespace lamp::bench {
+
+struct FigKernel {
+  ir::Graph graph;
+  ir::NodeId a, b, c, d, e;  // the five operations of the figure
+};
+
+inline FigKernel figureKernel(std::uint16_t width = 2) {
+  ir::GraphBuilder bld("rs_encoder_fig");
+  ir::Value s = bld.input("s", width, true);
+  ir::Value t = bld.input("t", width, true);
+  ir::Value ePh = bld.placeholder(width, "E");
+
+  ir::Value A = bld.shr(s, 1, "A");
+  ir::Value B = bld.bxor(t, A, "B");
+  ir::Value zero = bld.constant(0, width);
+  ir::Value C = bld.ge(B, zero, true, "C");
+  ir::Value D = bld.mux(C, B, ir::Value{ePh.id, 1}, "D");
+  ir::Value E = bld.bxor(D, t, "E");
+  bld.bindPlaceholder(ePh, E);
+  bld.output(E, "out");
+
+  FigKernel k;
+  k.graph = ir::compact(bld.graph());
+  for (ir::NodeId v = 0; v < k.graph.size(); ++v) {
+    const std::string& name = k.graph.node(v).name;
+    if (name == "A") k.a = v;
+    if (name == "B") k.b = v;
+    if (name == "C") k.c = v;
+    if (name == "D") k.d = v;
+    if (name == "E") k.e = v;
+  }
+  return k;
+}
+
+/// Figure 1's delay model: every logic operation (or mapped LUT) costs
+/// 2 ns, including shifts; target clock period 5 ns.
+inline sched::DelayModel figureDelays() {
+  sched::DelayModel dm;
+  dm.lutDelayNs = 2.0;
+  dm.bitwiseAdditiveNs = 2.0;
+  dm.muxAdditiveNs = 2.0;
+  dm.carryBaseNs = 2.0;
+  dm.carryPerBitNs = 0.0;
+  dm.shiftAdditiveNs = 2.0;
+  return dm;
+}
+
+inline constexpr double kFigureTcp = 5.0;
+
+}  // namespace lamp::bench
+
+#endif  // LAMP_BENCH_FIG_COMMON_H

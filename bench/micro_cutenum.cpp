@@ -1,0 +1,63 @@
+// google-benchmark microbenchmarks for word-level cut enumeration:
+// scaling in graph size and in K (the paper notes enumeration is
+// exponential in K yet fast for the practical K <= 6).
+
+#include <benchmark/benchmark.h>
+
+#include "cut/cut.h"
+#include "ir/builder.h"
+
+using namespace lamp;
+
+namespace {
+
+ir::Graph xorTree(int leaves, int width) {
+  ir::GraphBuilder b("tree");
+  std::vector<ir::Value> layer;
+  for (int i = 0; i < leaves; ++i) {
+    layer.push_back(b.input("i" + std::to_string(i),
+                            static_cast<std::uint16_t>(width)));
+  }
+  while (layer.size() > 1) {
+    std::vector<ir::Value> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(b.bxor(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  b.output(layer[0], "o");
+  return b.take();
+}
+
+void BM_CutEnumTreeSize(benchmark::State& state) {
+  const ir::Graph g = xorTree(static_cast<int>(state.range(0)), 16);
+  cut::CutEnumOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::enumerateCuts(g, opts).totalCuts);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CutEnumTreeSize)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_CutEnumK(benchmark::State& state) {
+  const ir::Graph g = xorTree(64, 16);
+  cut::CutEnumOptions opts;
+  opts.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::enumerateCuts(g, opts).totalCuts);
+  }
+}
+BENCHMARK(BM_CutEnumK)->DenseRange(2, 6);
+
+void BM_TrivialCuts(benchmark::State& state) {
+  const ir::Graph g = xorTree(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::trivialCuts(g).totalCuts);
+  }
+}
+BENCHMARK(BM_TrivialCuts)->Range(8, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

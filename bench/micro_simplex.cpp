@@ -1,0 +1,82 @@
+// google-benchmark microbenchmarks for the LP substrate: cold solves vs
+// incremental (dual simplex) re-solves — the mechanism that makes the
+// branch & bound viable on scheduling MILPs.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "lp/simplex.h"
+
+using namespace lamp::lp;
+
+namespace {
+
+/// A feasible random assignment-flavoured LP with n one-hot groups of g
+/// binaries (relaxed) plus coupling rows — shaped like the scheduling
+/// relaxations the B&B solves.
+Model makeModel(int groups, int width, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> cDist(0.1, 2.0);
+  Model m;
+  std::vector<std::vector<Var>> vars(groups);
+  LinExpr obj;
+  for (int i = 0; i < groups; ++i) {
+    LinExpr onehot;
+    for (int j = 0; j < width; ++j) {
+      const Var v = m.addContinuous(0.0, 1.0);
+      vars[i].push_back(v);
+      onehot.add(v, 1.0);
+      obj.add(v, cDist(rng) * j);
+    }
+    m.addConstraint(onehot, Sense::Eq, 1.0);
+    if (i > 0) {
+      // Precedence-like coupling between consecutive groups.
+      LinExpr prec;
+      for (int j = 0; j < width; ++j) {
+        prec.add(vars[i - 1][j], j);
+        prec.add(vars[i][j], -static_cast<double>(j));
+      }
+      m.addConstraint(prec, Sense::Le, 0.0);
+    }
+  }
+  m.setObjective(obj);
+  return m;
+}
+
+void BM_SimplexCold(benchmark::State& state) {
+  const Model m = makeModel(static_cast<int>(state.range(0)), 6, 42);
+  for (auto _ : state) {
+    SimplexSolver s(m);
+    benchmark::DoNotOptimize(s.solve().objective);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimplexCold)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_SimplexIncrementalRebound(benchmark::State& state) {
+  const Model m = makeModel(static_cast<int>(state.range(0)), 6, 42);
+  IncrementalSimplex inc(m);
+  std::vector<double> lb(m.numVars()), ub(m.numVars());
+  for (Var v = 0; v < static_cast<Var>(m.numVars()); ++v) {
+    lb[v] = m.lowerBound(v);
+    ub[v] = m.upperBound(v);
+  }
+  (void)inc.solve(lb, ub);  // prime the basis
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    // Fix one variable to 0 (a branch), solve, relax it again.
+    const Var v = static_cast<Var>(rng() % m.numVars());
+    ub[v] = 0.0;
+    benchmark::DoNotOptimize(inc.solve(lb, ub).status);
+    ub[v] = m.upperBound(v);
+    benchmark::DoNotOptimize(inc.solve(lb, ub).status);
+  }
+}
+BENCHMARK(BM_SimplexIncrementalRebound)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

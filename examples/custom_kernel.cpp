@@ -1,0 +1,94 @@
+// Bring-your-own kernel: a population-count + threshold detector built
+// directly with the GraphBuilder, scheduled with the scalable greedy
+// mapping-aware heuristic (the paper's future work) and with the exact
+// MILP, comparing quality and runtime.
+
+#include <chrono>
+#include <iostream>
+
+#include "cut/cut.h"
+#include "ir/builder.h"
+#include "ir/passes.h"
+#include "map/area.h"
+#include "sched/greedy.h"
+#include "sched/milp_sched.h"
+#include "sched/sdc.h"
+
+using namespace lamp;
+
+namespace {
+
+ir::Graph popcountKernel(int bits) {
+  ir::GraphBuilder b("popcount" + std::to_string(bits));
+  ir::Value x = b.input("x", static_cast<std::uint16_t>(bits));
+  std::vector<ir::Value> layer;
+  for (int i = 0; i < bits; ++i) layer.push_back(b.bit(x, i));
+  std::uint16_t w = 1;
+  while (layer.size() > 1) {
+    ++w;
+    std::vector<ir::Value> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(b.add(b.zext(layer[i], w), b.zext(layer[i + 1], w)));
+    }
+    if (layer.size() % 2) next.push_back(b.zext(layer.back(), w));
+    layer = std::move(next);
+  }
+  b.output(layer[0], "count");
+  ir::Value threshold = b.constant(static_cast<std::uint64_t>(bits / 2), w);
+  b.output(b.gt(layer[0], threshold, false), "majority");
+  return ir::compact(b.graph());
+}
+
+}  // namespace
+
+int main() {
+  const ir::Graph g = popcountKernel(32);
+  std::cout << "Custom kernel: " << g.name() << " (" << g.size()
+            << " nodes — narrow adders, prime LUT-packing territory)\n\n";
+
+  const sched::DelayModel delays;
+  const cut::CutDatabase mapped = cut::enumerateCuts(g);
+  const cut::CutDatabase trivial = cut::trivialCuts(g);
+
+  // Baseline: additive-delay SDC (what a commercial tool would do).
+  const auto sdc = sched::sdcSchedule(g, trivial, delays, {});
+  if (!sdc.success) {
+    std::cerr << "SDC failed: " << sdc.error << "\n";
+    return 1;
+  }
+  const auto sdcRep = map::evaluate(g, sdc.schedule, delays);
+  std::cout << "SDC baseline:   " << sdcRep.luts << " LUTs, " << sdcRep.ffs
+            << " FFs, " << sdcRep.stages << " stage(s)\n";
+
+  // Scalable mapping-aware heuristic: milliseconds.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto greedy = sched::greedyMapSchedule(g, mapped, delays, {});
+  const double greedyMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  if (greedy.success) {
+    const auto rep = map::evaluate(g, greedy.schedule, delays);
+    std::cout << "GreedyMap:      " << rep.luts << " LUTs, " << rep.ffs
+              << " FFs, " << rep.stages << " stage(s)   [" << greedyMs
+              << " ms]\n";
+  }
+
+  // Exact MILP: seconds, provably area-efficient within the model.
+  sched::MilpSchedOptions mo;
+  mo.maxLatency = sdc.schedule.latency(g) + 1;
+  mo.warmStart = greedy.success ? &greedy.schedule : &sdc.schedule;
+  mo.warmStartSelectsCuts = greedy.success;
+  mo.solver.timeLimitSeconds = 20;
+  const auto milp = sched::milpSchedule(g, mapped, delays, mo);
+  if (milp.success) {
+    const auto rep = map::evaluate(g, milp.schedule, delays);
+    std::cout << "MILP-map:       " << rep.luts << " LUTs, " << rep.ffs
+              << " FFs, " << rep.stages << " stage(s)   ["
+              << milp.solveSeconds << " s, "
+              << lp::solveStatusName(milp.status) << "]\n";
+  } else {
+    std::cout << "MILP failed: " << milp.error << "\n";
+  }
+  return 0;
+}

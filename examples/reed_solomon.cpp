@@ -1,0 +1,61 @@
+// The paper's running example end to end: the Reed-Solomon decoder
+// syndrome kernel with loop-carried accumulators. Schedules it three
+// ways, validates each schedule, streams 16 symbols through the
+// cycle-accurate pipeline simulator, and cross-checks against the
+// untimed interpreter.
+
+#include <iostream>
+
+#include "flow/flow.h"
+#include "report/table.h"
+#include "sim/pipeline_sim.h"
+
+using namespace lamp;
+
+int main() {
+  const workloads::Benchmark bm = workloads::makeRs(workloads::Scale::Default);
+  std::cout << "Benchmark: " << bm.name << " - " << bm.description << " ("
+            << bm.graph.size() << " nodes)\n\n";
+
+  flow::FlowOptions opts;
+  opts.solverTimeLimitSeconds = 10;
+  const flow::BenchmarkResults r = flow::runAllMethods(bm, opts);
+
+  report::Table t({"Method", "II", "Stages", "LUT", "FF", "CP(ns)",
+                   "verified"});
+  for (const flow::FlowResult* f : {&r.hls, &r.milpBase, &r.milpMap}) {
+    if (!f->success) {
+      std::cout << methodName(f->method) << " failed: " << f->error << "\n";
+      continue;
+    }
+    t.addRow({std::string(methodName(f->method)),
+              std::to_string(f->schedule.ii), std::to_string(f->area.stages),
+              std::to_string(f->area.luts), std::to_string(f->area.ffs),
+              report::fixed(f->area.cpNs),
+              f->functionallyVerified ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  // Stream a short codeword through the mapping-aware pipeline and print
+  // the syndromes as they emerge, one result per II cycles.
+  std::cout << "\nStreaming 16 symbols through the MILP-map pipeline:\n";
+  std::vector<sim::InputFrame> frames;
+  for (std::uint64_t k = 0; k < 16; ++k) frames.push_back(bm.makeInputs(k, 1));
+  const auto run = sim::runPipeline(bm.graph, r.milpMap.schedule,
+                                    flow::FlowOptions{}.delays, frames);
+  if (!run.ok) {
+    std::cout << "pipeline error: " << run.error << "\n";
+    return 1;
+  }
+  const auto outs = bm.graph.outputs();
+  for (std::size_t k = 0; k < frames.size(); k += 5) {
+    std::cout << "  iter " << k << ": syndromes";
+    for (std::size_t j = 0; j + 1 < outs.size(); ++j) {
+      std::cout << " 0x" << std::hex << run.outputs[k].at(outs[j]) << std::dec;
+    }
+    std::cout << " err=" << run.outputs[k].at(outs.back()) << "\n";
+  }
+  std::cout << "\nPeak live register bits observed: " << run.peakLiveBits
+            << " (static count: " << r.milpMap.area.ffs << ")\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "cut/dep.h"
+
+namespace lamp::cut {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpClass;
+using ir::OpKind;
+
+bool isWireClass(OpKind kind) { return ir::opClass(kind) == OpClass::Shift; }
+
+namespace {
+
+/// If exactly one operand of a 2-input bitwise op is constant, returns
+/// its index; -1 otherwise.
+int constOperand(const Graph& g, const Node& n) {
+  const bool c0 = g.node(n.operands[0].src).kind == OpKind::Const;
+  const bool c1 = g.node(n.operands[1].src).kind == OpKind::Const;
+  if (c0 == c1) return -1;
+  return c0 ? 0 : 1;
+}
+
+bool constBit(const Graph& g, const Node& n, int opIdx, std::uint16_t bit) {
+  return ((g.node(n.operands[opIdx].src).constValue >> bit) & 1) != 0;
+}
+
+}  // namespace
+
+bool isIdentityBit(const Graph& g, ir::NodeId node, std::uint16_t bit) {
+  const Node& n = g.node(node);
+  if (isWireClass(n.kind)) return true;
+  if (n.kind != OpKind::And && n.kind != OpKind::Or && n.kind != OpKind::Xor) {
+    return false;
+  }
+  const int ci = constOperand(g, n);
+  if (ci < 0) return false;
+  const bool one = constBit(g, n, ci, bit);
+  switch (n.kind) {
+    case OpKind::And: return one;    // x & 1 = x
+    case OpKind::Or: return !one;    // x | 0 = x
+    case OpKind::Xor: return !one;   // x ^ 0 = x (x ^ 1 needs a NOT LUT)
+    default: return false;
+  }
+}
+
+bool isSignTest(const Graph& g, NodeId node) {
+  const Node& n = g.node(node);
+  if (!n.isSigned) return false;
+  if (n.kind != OpKind::Lt && n.kind != OpKind::Ge) return false;
+  const Node& rhs = g.node(n.operands[1].src);
+  return rhs.kind == OpKind::Const && rhs.constValue == 0;
+}
+
+bool operandRelevant(const Graph& g, ir::NodeId node,
+                     std::uint16_t operandIndex) {
+  const Node& n = g.node(node);
+  if (!ir::isLutMappable(n.kind)) return true;  // ports always matter
+  for (std::uint16_t j = 0; j < n.width; ++j) {
+    for (const DepBit& d : depBits(g, node, j)) {
+      if (d.operandIndex == operandIndex) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<DepBit> depBits(const Graph& g, NodeId node, std::uint16_t bit) {
+  const Node& n = g.node(node);
+  std::vector<DepBit> deps;
+  const auto opIsConst = [&](std::uint16_t i) {
+    return g.node(n.operands[i].src).kind == OpKind::Const;
+  };
+  const auto push = [&](std::uint16_t opIdx, int b) {
+    const Node& src = g.node(n.operands[opIdx].src);
+    if (b < 0 || b >= src.width) return;  // shifted-in constant bit
+    if (opIsConst(opIdx)) return;         // constants fold into the LUT
+    deps.push_back(DepBit{opIdx, static_cast<std::uint16_t>(b)});
+  };
+
+  switch (n.kind) {
+    case OpKind::Input:
+    case OpKind::Output:
+    case OpKind::Const:
+    case OpKind::Mul:
+    case OpKind::Load:
+    case OpKind::Store:
+      break;  // no DEP: sources, sinks, and black boxes
+
+    case OpKind::And:
+    case OpKind::Or: {
+      // A dominating constant bit (0 for AND, 1 for OR) makes the output
+      // bit constant: no dependences at all.
+      const int ci = constOperand(g, n);
+      if (ci >= 0) {
+        const bool one = constBit(g, n, ci, bit);
+        if ((n.kind == OpKind::And && !one) || (n.kind == OpKind::Or && one)) {
+          break;
+        }
+      }
+      push(0, bit);
+      push(1, bit);
+      break;
+    }
+    case OpKind::Xor:
+      push(0, bit);
+      push(1, bit);
+      break;
+    case OpKind::Not:
+      push(0, bit);
+      break;
+
+    case OpKind::Shl:
+      push(0, bit - n.attr0);
+      break;
+    case OpKind::Shr:
+      push(0, bit + n.attr0);
+      break;
+    case OpKind::AShr: {
+      const int src = bit + n.attr0;
+      push(0, src >= n.width ? n.width - 1 : src);
+      break;
+    }
+    case OpKind::Slice:
+      push(0, bit + n.attr0);
+      break;
+    case OpKind::Concat: {
+      const std::uint16_t loWidth = g.node(n.operands[1].src).width;
+      if (bit < loWidth) {
+        push(1, bit);
+      } else {
+        push(0, bit - loWidth);
+      }
+      break;
+    }
+    case OpKind::ZExt:
+      push(0, bit);  // push() drops bits beyond the source width
+      break;
+    case OpKind::SExt: {
+      const std::uint16_t w = g.node(n.operands[0].src).width;
+      push(0, bit >= w ? w - 1 : bit);
+      break;
+    }
+
+    case OpKind::Add:
+    case OpKind::Sub:
+      for (int b = bit; b >= 0; --b) {
+        push(0, b);
+        push(1, b);
+      }
+      break;
+
+    case OpKind::Lt:
+    case OpKind::Ge:
+      if (isSignTest(g, node)) {
+        push(0, g.node(n.operands[0].src).width - 1);
+        break;
+      }
+      [[fallthrough]];
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Le:
+    case OpKind::Gt:
+      for (int b = g.node(n.operands[0].src).width - 1; b >= 0; --b) {
+        push(0, b);
+        push(1, b);
+      }
+      break;
+
+    case OpKind::Mux:
+      push(0, 0);  // select
+      push(1, bit);
+      push(2, bit);
+      break;
+  }
+  return deps;
+}
+
+}  // namespace lamp::cut

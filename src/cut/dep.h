@@ -1,0 +1,57 @@
+#ifndef LAMP_CUT_DEP_H
+#define LAMP_CUT_DEP_H
+
+/// \file dep.h
+/// Bit-level dependence tracking on the word-level CDFG: the DEP functions
+/// of Section 3.1. DEP(v[j]) lists the (operand index, operand bit) pairs
+/// output bit j depends on, per operation class:
+///  - bitwise ops: one bit of each operand,
+///  - shifts / bit rearrangement: a single routed bit,
+///  - arithmetic: all bits at or below j of both operands,
+///  - comparisons: every operand bit, except recognized sign tests
+///    (x < 0, x >= 0 signed) which collapse to the sign bit,
+///  - mux: the select bit plus bit j of both data operands.
+/// Bits of Const operands never appear (constants fold into LUT masks).
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace lamp::cut {
+
+/// One bit-level dependence of an output bit.
+struct DepBit {
+  std::uint16_t operandIndex = 0;  ///< which operand of the node
+  std::uint16_t bit = 0;           ///< bit of that operand
+};
+
+/// Computes DEP(node[bit]). `g` is needed to inspect operand widths and
+/// recognize comparisons against constants. Const operands are omitted.
+/// Input/Output/Const/BlackBox nodes have no DEP (empty result).
+std::vector<DepBit> depBits(const ir::Graph& g, ir::NodeId node,
+                            std::uint16_t bit);
+
+/// True when this node kind routes bits without logic (Shift class):
+/// a single-dependence output bit of such a node is a wire, not a LUT.
+bool isWireClass(ir::OpKind kind);
+
+/// True when output bit `bit` of this node is exactly equal to its single
+/// dependence bit — i.e. the operation is neutral there (AND with a 1
+/// constant bit, OR/XOR with a 0 constant bit, a routed Shift-class bit).
+/// Such bits cost no LUT even inside Bitwise nodes.
+bool isIdentityBit(const ir::Graph& g, ir::NodeId node, std::uint16_t bit);
+
+/// True if the comparison node is a recognized sign test whose result
+/// depends only on the top bit of operand 0 (e.g. signed x < 0, x >= 0).
+bool isSignTest(const ir::Graph& g, ir::NodeId node);
+
+/// True when at least one output bit of `node` depends on operand
+/// `operandIndex`. Dominating constants (x & 0, x | ~0) and shifted-out
+/// ranges can make an operand entirely irrelevant to the cone.
+bool operandRelevant(const ir::Graph& g, ir::NodeId node,
+                     std::uint16_t operandIndex);
+
+}  // namespace lamp::cut
+
+#endif  // LAMP_CUT_DEP_H

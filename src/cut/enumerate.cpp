@@ -1,0 +1,385 @@
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+
+#include "cut/cut.h"
+#include "cut/dep.h"
+#include "ir/passes.h"
+
+namespace lamp::cut {
+
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpClass;
+using ir::OpKind;
+
+namespace {
+
+void unionInto(SupportSet& dst, const SupportSet& add) {
+  if (add.empty()) return;
+  SupportSet merged;
+  merged.reserve(dst.size() + add.size());
+  std::merge(dst.begin(), dst.end(), add.begin(), add.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  dst = std::move(merged);
+}
+
+void insertSorted(std::vector<CutElement>& v, CutElement e) {
+  const auto it = std::lower_bound(v.begin(), v.end(), e);
+  if (it == v.end() || *it != e) v.insert(it, e);
+}
+
+void insertSorted(std::vector<NodeId>& v, NodeId id) {
+  const auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+
+/// LUT cost when a wide arithmetic node is implemented on a carry chain:
+/// one LUT per operand bit (adders, subtractors and comparators all
+/// consume a LUT + CARRY mux per bit on Xilinx-style fabrics).
+int carryLutCost(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (n.kind == OpKind::Add || n.kind == OpKind::Sub) return n.width;
+  return g.node(n.operands[0].src).width;  // comparisons
+}
+
+Cut makeCarryCut(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  Cut cut;
+  cut.kind = CutKind::Carry;
+  cut.isUnit = true;
+  cut.lutCost = carryLutCost(g, id);
+  cut.coneNodes = {id};
+  for (const Edge& e : n.operands) {
+    if (g.node(e.src).kind == OpKind::Const) continue;
+    insertSorted(cut.elements, CutElement{e.src, e.dist});
+  }
+  return cut;
+}
+
+Cut makePortCut(const Graph& g, NodeId id, CutKind kind) {
+  const Node& n = g.node(id);
+  Cut cut;
+  cut.kind = kind;
+  cut.isUnit = true;
+  cut.lutCost = 0;
+  for (const Edge& e : n.operands) {
+    if (g.node(e.src).kind == OpKind::Const) continue;
+    insertSorted(cut.elements, CutElement{e.src, e.dist});
+  }
+  return cut;
+}
+
+/// Per-operand expansion choice: nullptr == treat the fanin as a boundary
+/// (its trivial cut); otherwise absorb the fanin through the given cut.
+using Choice = const Cut*;
+
+struct Enumerator {
+  const Graph& g;
+  const CutEnumOptions& opts;
+  std::vector<CutSet> cutsOf;
+  std::size_t visits = 0;
+
+  explicit Enumerator(const Graph& graph, const CutEnumOptions& options)
+      : g(graph), opts(options), cutsOf(graph.size()) {}
+
+  /// Builds the candidate cut of `v` for a fixed combination of choices
+  /// (one per operand). Returns false if K/element limits are violated.
+  bool compose(NodeId v, const std::vector<Choice>& choice, Cut& out) const {
+    const Node& n = g.node(v);
+    out = Cut{};
+    out.kind = CutKind::Lut;
+    out.coneNodes = {v};
+    out.isUnit = true;
+    out.bitSupport.resize(n.width);
+    out.bitIsWire.assign(n.width, false);
+
+    for (std::size_t i = 0; i < n.operands.size(); ++i) {
+      if (choice[i] != nullptr) {
+        out.isUnit = false;
+        for (const NodeId cn : choice[i]->coneNodes) {
+          insertSorted(out.coneNodes, cn);
+        }
+      }
+    }
+
+    for (std::uint16_t j = 0; j < n.width; ++j) {
+      const auto deps = depBits(g, v, j);
+      // Routed or neutral-masked bits (shift class, AND with 1, OR/XOR
+      // with 0) are wires unless an absorbed source bit adds logic.
+      bool wireBit = isIdentityBit(g, v, j) && deps.size() <= 1;
+      for (const DepBit& d : deps) {
+        const Edge& e = n.operands[d.operandIndex];
+        if (choice[d.operandIndex] == nullptr) {
+          // Boundary bit of the fanin itself.
+          const BitKey key = makeBitKey(e.src, e.dist, d.bit);
+          unionInto(out.bitSupport[j], SupportSet{key});
+        } else {
+          const Cut& c = *choice[d.operandIndex];
+          unionInto(out.bitSupport[j], c.bitSupport[d.bit]);
+          if (!c.bitIsWire[d.bit]) wireBit = false;
+        }
+      }
+      if (static_cast<int>(out.bitSupport[j].size()) > opts.k) return false;
+      out.bitIsWire[j] = wireBit;
+      out.maxSupport = std::max(out.maxSupport,
+                                static_cast<int>(out.bitSupport[j].size()));
+      if (!out.bitSupport[j].empty() && !out.bitIsWire[j]) ++out.lutCost;
+    }
+
+    for (const SupportSet& s : out.bitSupport) {
+      for (const BitKey k : s) {
+        insertSorted(out.elements, CutElement{bitKeyNode(k), bitKeyDist(k)});
+      }
+    }
+    return static_cast<int>(out.elements.size()) <= opts.maxElements;
+  }
+
+  /// Recomputes the full candidate cut set of one LUT-mappable node from
+  /// the current cut sets of its fanins.
+  std::vector<Cut> candidates(NodeId v) {
+    const Node& n = g.node(v);
+    const std::size_t p = n.operands.size();
+
+    // Absorbable cuts per operand. Operands referencing the same
+    // (node, dist) share one choice slot for consistency.
+    std::vector<std::vector<Choice>> options(p);
+    std::vector<std::size_t> slotOf(p);  // first operand with same source
+    for (std::size_t i = 0; i < p; ++i) {
+      slotOf[i] = i;
+      for (std::size_t h = 0; h < i; ++h) {
+        if (n.operands[h].src == n.operands[i].src &&
+            n.operands[h].dist == n.operands[i].dist) {
+          slotOf[i] = h;
+          break;
+        }
+      }
+      if (slotOf[i] != i) continue;
+      options[i].push_back(nullptr);  // boundary
+      const Edge& e = n.operands[i];
+      if (e.dist != 0) continue;  // never expand through a register
+      if (!ir::isLutMappable(g.node(e.src).kind)) continue;
+      for (const Cut& c : cutsOf[e.src].cuts) {
+        if (c.kind == CutKind::Lut) options[i].push_back(&c);
+      }
+    }
+
+    std::vector<Cut> result;
+    std::vector<Choice> choice(p, nullptr);
+    std::vector<std::size_t> idx(p, 0);
+    while (true) {
+      for (std::size_t i = 0; i < p; ++i) {
+        choice[i] = options[slotOf[i]][idx[slotOf[i]]];
+      }
+      Cut cut;
+      if (compose(v, choice, cut)) result.push_back(std::move(cut));
+
+      // Advance the mixed-radix counter over the real slots.
+      std::size_t i = 0;
+      for (; i < p; ++i) {
+        if (slotOf[i] != i) continue;
+        if (++idx[i] < options[i].size()) break;
+        idx[i] = 0;
+      }
+      if (i == p) break;
+    }
+
+    // The unit cut can be K-infeasible for wide arithmetic: fall back to a
+    // carry-chain implementation so every node stays realizable.
+    const bool hasUnit =
+        std::any_of(result.begin(), result.end(),
+                    [](const Cut& c) { return c.isUnit; });
+    if (!hasUnit && ir::opClass(n.kind) == OpClass::Arith) {
+      result.push_back(makeCarryCut(g, v));
+    }
+    prune(result);
+    return result;
+  }
+
+  void prune(std::vector<Cut>& cuts) const {
+    // Deduplicate identical element sets, keeping the cheapest.
+    std::sort(cuts.begin(), cuts.end(), [](const Cut& a, const Cut& b) {
+      if (a.elements != b.elements) return a.elements < b.elements;
+      return a.lutCost < b.lutCost;
+    });
+    cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                           [](const Cut& a, const Cut& b) {
+                             return a.elements == b.elements;
+                           }),
+               cuts.end());
+
+    // Subset dominance: drop B when some A has a subset boundary and no
+    // higher cost (selecting A constrains strictly fewer roots).
+    std::vector<bool> dead(cuts.size(), false);
+    for (std::size_t a = 0; a < cuts.size(); ++a) {
+      if (dead[a]) continue;
+      for (std::size_t b = 0; b < cuts.size(); ++b) {
+        if (a == b || dead[b] || cuts[b].isUnit) continue;
+        if (cuts[a].lutCost > cuts[b].lutCost) continue;
+        if (cuts[a].elements.size() >= cuts[b].elements.size()) continue;
+        if (std::includes(cuts[b].elements.begin(), cuts[b].elements.end(),
+                          cuts[a].elements.begin(), cuts[a].elements.end())) {
+          dead[b] = true;
+        }
+      }
+    }
+    std::vector<Cut> kept;
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      if (!dead[i]) kept.push_back(std::move(cuts[i]));
+    }
+
+    // Priority cap: deepest cones first (they enable fewer roots), always
+    // keeping the unit/carry fallback.
+    std::stable_sort(kept.begin(), kept.end(), [](const Cut& a, const Cut& b) {
+      if (a.coneNodes.size() != b.coneNodes.size()) {
+        return a.coneNodes.size() > b.coneNodes.size();
+      }
+      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
+      return a.elements.size() < b.elements.size();
+    });
+    if (static_cast<int>(kept.size()) > opts.maxCutsPerNode) {
+      const auto unitIt = std::find_if(kept.begin(), kept.end(),
+                                       [](const Cut& c) { return c.isUnit; });
+      Cut unit;
+      bool saveUnit = false;
+      if (unitIt != kept.end() &&
+          unitIt - kept.begin() >= opts.maxCutsPerNode) {
+        unit = *unitIt;
+        saveUnit = true;
+      }
+      kept.resize(opts.maxCutsPerNode);
+      if (saveUnit) kept.back() = std::move(unit);
+    }
+    cuts = std::move(kept);
+  }
+
+  void run() {
+    // Algorithm 1: worklist over nodes in topological order.
+    std::deque<NodeId> work;
+    std::vector<bool> inList(g.size(), false);
+    for (const NodeId v : ir::topologicalOrder(g)) {
+      work.push_back(v);
+      inList[v] = true;
+    }
+    const auto& fanouts = g.fanouts();
+    int iterations = opts.maxIterations;
+    while (!work.empty() && iterations-- > 0) {
+      const NodeId v = work.front();
+      work.pop_front();
+      inList[v] = false;
+      ++visits;
+
+      const Node& n = g.node(v);
+      std::vector<Cut> next;
+      switch (ir::opClass(n.kind)) {
+        case OpClass::Io:
+          if (n.kind == OpKind::Output) {
+            next.push_back(makePortCut(g, v, CutKind::Sink));
+          }
+          break;  // Input/Const: boundary-only, no selectable cuts
+        case OpClass::BlackBox:
+          next.push_back(makePortCut(g, v, CutKind::BlackBox));
+          break;
+        default:
+          next = candidates(v);
+          break;
+      }
+
+      bool changed = next.size() != cutsOf[v].cuts.size();
+      for (std::size_t i = 0; !changed && i < next.size(); ++i) {
+        changed = next[i].elements != cutsOf[v].cuts[i].elements ||
+                  next[i].lutCost != cutsOf[v].cuts[i].lutCost;
+      }
+      if (!changed) continue;
+      cutsOf[v].cuts = std::move(next);
+      for (const Graph::Fanout& f : fanouts[v]) {
+        if (!inList[f.dst]) {
+          work.push_back(f.dst);
+          inList[f.dst] = true;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string Cut::str(const ir::Graph& g) const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) os << ", ";
+    const Node& n = g.node(elements[i].node);
+    if (!n.name.empty()) {
+      os << n.name;
+    } else {
+      os << ir::opKindName(n.kind) << elements[i].node;
+    }
+    if (elements[i].dist) os << "@-" << elements[i].dist;
+  }
+  os << "}";
+  switch (kind) {
+    case CutKind::Carry: os << " carry"; break;
+    case CutKind::BlackBox: os << " bb"; break;
+    case CutKind::Sink: os << " out"; break;
+    case CutKind::Lut:
+      os << " lut:" << lutCost << " sup:" << maxSupport;
+      break;
+  }
+  return os.str();
+}
+
+CutDatabase enumerateCuts(const Graph& g, const CutEnumOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  Enumerator e(g, opts);
+  e.run();
+  CutDatabase db;
+  db.cutsOf = std::move(e.cutsOf);
+  db.worklistVisits = e.visits;
+  for (const CutSet& cs : db.cutsOf) db.totalCuts += cs.cuts.size();
+  db.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return db;
+}
+
+CutDatabase trivialCuts(const Graph& g, const CutEnumOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  CutDatabase db;
+  db.cutsOf.resize(g.size());
+  Enumerator e(g, opts);  // reuse compose() for unit cuts
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    switch (ir::opClass(n.kind)) {
+      case OpClass::Io:
+        if (n.kind == OpKind::Output) {
+          db.cutsOf[v].cuts.push_back(makePortCut(g, v, CutKind::Sink));
+        }
+        break;
+      case OpClass::BlackBox:
+        db.cutsOf[v].cuts.push_back(makePortCut(g, v, CutKind::BlackBox));
+        break;
+      default: {
+        const std::vector<Choice> choice(n.operands.size(), nullptr);
+        Cut unit;
+        if (e.compose(v, choice, unit)) {
+          db.cutsOf[v].cuts.push_back(std::move(unit));
+        } else {
+          db.cutsOf[v].cuts.push_back(makeCarryCut(g, v));
+        }
+        break;
+      }
+    }
+    db.totalCuts += db.cutsOf[v].cuts.size();
+  }
+  db.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return db;
+}
+
+}  // namespace lamp::cut

@@ -1,0 +1,85 @@
+#ifndef LAMP_FLOW_FLOW_H
+#define LAMP_FLOW_FLOW_H
+
+/// \file flow.h
+/// End-to-end experimental flows, one per Table 1 row group:
+///
+///  - HLS Tool   : SDC heuristic modulo scheduling (additive delays),
+///  - MILP-base  : exact MILP over trivial cuts (mapping-agnostic),
+///  - MILP-map   : exact MILP over enumerated cuts (mapping-aware),
+///
+/// each followed by the same downstream evaluator (per-stage remapping,
+/// FF counting, achieved CP) and, optionally, functional verification of
+/// the schedule against the untimed interpreter.
+
+#include <optional>
+#include <string>
+
+#include "map/area.h"
+#include "sched/milp_sched.h"
+#include "sched/sdc.h"
+#include "workloads/workloads.h"
+
+namespace lamp::flow {
+
+enum class Method { HlsTool, MilpBase, MilpMap };
+
+std::string_view methodName(Method m);
+
+struct FlowOptions {
+  int ii = 1;
+  double tcpNs = 10.0;
+  double alpha = 0.5;
+  double beta = 0.5;
+  /// Wall-clock cap for the MILP solver (the paper used 60 minutes; the
+  /// default here keeps the full Table 1 run laptop-scale).
+  double solverTimeLimitSeconds = 20.0;
+  /// Extra pipeline-latency slack on top of the SDC schedule's latency.
+  int latencyMargin = 1;
+  cut::CutEnumOptions cuts;
+  sched::DelayModel delays;
+  /// Verify each schedule functionally against the interpreter using
+  /// this many random input frames (0 disables).
+  int verifyFrames = 8;
+  std::uint32_t verifySeed = 1;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::string error;
+  Method method = Method::HlsTool;
+
+  sched::Schedule schedule;
+  map::AreaReport area;
+
+  // Solver statistics (zero for the heuristic flow).
+  lp::SolveStatus status = lp::SolveStatus::Optimal;
+  double solveSeconds = 0.0;
+  double buildSeconds = 0.0;
+  std::int64_t branchNodes = 0;
+  std::size_t numVars = 0;
+  std::size_t numConstraints = 0;
+  std::size_t numCuts = 0;
+  double objective = 0.0;
+
+  bool functionallyVerified = false;
+};
+
+/// Runs one method on one benchmark. If the requested II is infeasible
+/// the flow retries with II+1 (up to 8x), like production schedulers do.
+FlowResult runFlow(const workloads::Benchmark& bm, Method method,
+                   const FlowOptions& opts = {});
+
+/// All three methods on one benchmark (shares the SDC warm start).
+struct BenchmarkResults {
+  FlowResult hls;
+  FlowResult milpBase;
+  FlowResult milpMap;
+};
+
+BenchmarkResults runAllMethods(const workloads::Benchmark& bm,
+                               const FlowOptions& opts = {});
+
+}  // namespace lamp::flow
+
+#endif  // LAMP_FLOW_FLOW_H

@@ -1,0 +1,255 @@
+#include "ir/builder.h"
+
+#include <utility>
+
+namespace lamp::ir {
+
+Value GraphBuilder::input(std::string name, std::uint16_t width,
+                          bool isSigned) {
+  Node n;
+  n.kind = OpKind::Input;
+  n.width = width;
+  n.isSigned = isSigned;
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::constant(std::uint64_t value, std::uint16_t width) {
+  Node n;
+  n.kind = OpKind::Const;
+  n.width = width;
+  n.constValue = width >= 64 ? value : (value & ((std::uint64_t{1} << width) - 1));
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::placeholder(std::uint16_t width, std::string name) {
+  // A placeholder is a Const that will be forwarded away by
+  // bindPlaceholder(); it must never survive into a verified graph
+  // with uses (bindPlaceholder rewrites all its uses).
+  Node n;
+  n.kind = OpKind::Const;
+  n.width = width;
+  n.name = "placeholder:" + std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+void GraphBuilder::bindPlaceholder(Value ph, Value definition) {
+  assert(graph_.node(ph.id).width == graph_.node(definition.id).width);
+  for (NodeId id = 0; id < graph_.size(); ++id) {
+    for (Edge& e : graph_.node(id).operands) {
+      if (e.src == ph.id) {
+        e.src = definition.id;
+        e.dist += definition.dist;
+      }
+    }
+  }
+  // Leave the placeholder node behind as an unused constant; callers that
+  // care about exact node counts run ir::compact() afterwards.
+  graph_.node(ph.id).name += ":bound";
+}
+
+Value GraphBuilder::binary(OpKind kind, Value a, Value b, std::uint16_t width,
+                           std::string name, bool isSigned) {
+  Node n;
+  n.kind = kind;
+  n.width = width;
+  n.isSigned = isSigned;
+  n.operands = {Edge{a.id, a.dist}, Edge{b.id, b.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::band(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::And, a, b, width(a), std::move(name));
+}
+
+Value GraphBuilder::bor(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Or, a, b, width(a), std::move(name));
+}
+
+Value GraphBuilder::bxor(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Xor, a, b, width(a), std::move(name));
+}
+
+Value GraphBuilder::bnot(Value a, std::string name) {
+  Node n;
+  n.kind = OpKind::Not;
+  n.width = width(a);
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::shl(Value a, int amount, std::string name) {
+  Node n;
+  n.kind = OpKind::Shl;
+  n.width = width(a);
+  n.attr0 = amount;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::shr(Value a, int amount, std::string name) {
+  Node n;
+  n.kind = OpKind::Shr;
+  n.width = width(a);
+  n.attr0 = amount;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::ashr(Value a, int amount, std::string name) {
+  Node n;
+  n.kind = OpKind::AShr;
+  n.width = width(a);
+  n.attr0 = amount;
+  n.isSigned = true;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::slice(Value a, int lowBit, std::uint16_t w,
+                          std::string name) {
+  assert(lowBit >= 0 && lowBit + w <= width(a));
+  Node n;
+  n.kind = OpKind::Slice;
+  n.width = w;
+  n.attr0 = lowBit;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::concat(Value hi, Value lo, std::string name) {
+  Node n;
+  n.kind = OpKind::Concat;
+  n.width = static_cast<std::uint16_t>(width(hi) + width(lo));
+  n.operands = {Edge{hi.id, hi.dist}, Edge{lo.id, lo.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::zext(Value a, std::uint16_t w, std::string name) {
+  assert(w >= width(a));
+  Node n;
+  n.kind = OpKind::ZExt;
+  n.width = w;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::sext(Value a, std::uint16_t w, std::string name) {
+  assert(w >= width(a));
+  Node n;
+  n.kind = OpKind::SExt;
+  n.width = w;
+  n.isSigned = true;
+  n.operands = {Edge{a.id, a.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::bit(Value a, int bitIndex, std::string name) {
+  return slice(a, bitIndex, 1, std::move(name));
+}
+
+Value GraphBuilder::add(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Add, a, b, width(a), std::move(name));
+}
+
+Value GraphBuilder::sub(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Sub, a, b, width(a), std::move(name));
+}
+
+Value GraphBuilder::eq(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Eq, a, b, 1, std::move(name));
+}
+
+Value GraphBuilder::ne(Value a, Value b, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Ne, a, b, 1, std::move(name));
+}
+
+Value GraphBuilder::lt(Value a, Value b, bool isSigned, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Lt, a, b, 1, std::move(name), isSigned);
+}
+
+Value GraphBuilder::le(Value a, Value b, bool isSigned, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Le, a, b, 1, std::move(name), isSigned);
+}
+
+Value GraphBuilder::gt(Value a, Value b, bool isSigned, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Gt, a, b, 1, std::move(name), isSigned);
+}
+
+Value GraphBuilder::ge(Value a, Value b, bool isSigned, std::string name) {
+  assert(width(a) == width(b));
+  return binary(OpKind::Ge, a, b, 1, std::move(name), isSigned);
+}
+
+Value GraphBuilder::mux(Value sel, Value a, Value b, std::string name) {
+  assert(width(sel) == 1);
+  assert(width(a) == width(b));
+  Node n;
+  n.kind = OpKind::Mux;
+  n.width = width(a);
+  n.operands = {Edge{sel.id, sel.dist}, Edge{a.id, a.dist}, Edge{b.id, b.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::mul(Value a, Value b, std::uint16_t w, std::string name) {
+  Node n;
+  n.kind = OpKind::Mul;
+  n.width = w;
+  n.attr0 = static_cast<std::int32_t>(ResourceClass::Dsp);
+  n.operands = {Edge{a.id, a.dist}, Edge{b.id, b.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::load(ResourceClass rc, Value addr, std::uint16_t w,
+                         std::string name) {
+  Node n;
+  n.kind = OpKind::Load;
+  n.width = w;
+  n.attr0 = static_cast<std::int32_t>(rc);
+  n.operands = {Edge{addr.id, addr.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+Value GraphBuilder::store(ResourceClass rc, Value addr, Value data,
+                          std::string name) {
+  Node n;
+  n.kind = OpKind::Store;
+  n.width = 0;
+  n.attr0 = static_cast<std::int32_t>(rc);
+  n.operands = {Edge{addr.id, addr.dist}, Edge{data.id, data.dist}};
+  n.name = std::move(name);
+  return Value{graph_.add(std::move(n))};
+}
+
+NodeId GraphBuilder::output(Value v, std::string name) {
+  Node n;
+  n.kind = OpKind::Output;
+  n.width = width(v);
+  n.operands = {Edge{v.id, v.dist}};
+  n.name = std::move(name);
+  return graph_.add(std::move(n));
+}
+
+}  // namespace lamp::ir

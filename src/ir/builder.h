@@ -1,0 +1,125 @@
+#ifndef LAMP_IR_BUILDER_H
+#define LAMP_IR_BUILDER_H
+
+/// \file builder.h
+/// Convenience API for constructing CDFGs. A Value is a lightweight handle
+/// (node id + inter-iteration distance); GraphBuilder methods create nodes
+/// with width checking and return Values.
+///
+/// Example — one step of a xor-reduction with a loop-carried accumulator:
+/// \code
+///   GraphBuilder b("acc");
+///   Value x = b.input("x", 32);
+///   Value acc = b.placeholder(32, "acc");       // defined below
+///   Value next = b.bxor(x, acc.prev(1));        // acc from last iteration
+///   b.bindPlaceholder(acc, next);
+///   b.output(next, "out");
+/// \endcode
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace lamp::ir {
+
+/// Handle to a node's value, optionally displaced by loop iterations.
+struct Value {
+  NodeId id = kNoNode;
+  std::uint32_t dist = 0;
+
+  bool valid() const { return id != kNoNode; }
+
+  /// The same value produced `extra` iterations earlier.
+  Value prev(std::uint32_t extra) const { return Value{id, dist + extra}; }
+};
+
+/// Builder for word-level CDFGs with width/operand checking (via assert in
+/// debug builds; ir::verify() performs the authoritative full check).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graphName) : graph_(std::move(graphName)) {}
+
+  /// Access the graph under construction.
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+
+  /// Moves the finished graph out of the builder.
+  Graph take() { return std::move(graph_); }
+
+  // --- sources ------------------------------------------------------------
+
+  Value input(std::string name, std::uint16_t width, bool isSigned = false);
+  Value constant(std::uint64_t value, std::uint16_t width);
+
+  /// Creates a Mux-with-self placeholder used to express cyclic
+  /// (loop-carried) definitions; see bindPlaceholder().
+  Value placeholder(std::uint16_t width, std::string name);
+
+  /// Resolves a placeholder created by placeholder(): rewrites it into a
+  /// pass-through of `definition` (an Or with a zero constant so the node
+  /// stays LUT-transparent).
+  void bindPlaceholder(Value ph, Value definition);
+
+  // --- bitwise ------------------------------------------------------------
+
+  Value band(Value a, Value b, std::string name = {});
+  Value bor(Value a, Value b, std::string name = {});
+  Value bxor(Value a, Value b, std::string name = {});
+  Value bnot(Value a, std::string name = {});
+
+  // --- shifts / bit rearrangement ------------------------------------------
+
+  Value shl(Value a, int amount, std::string name = {});
+  Value shr(Value a, int amount, std::string name = {});
+  Value ashr(Value a, int amount, std::string name = {});
+  Value slice(Value a, int lowBit, std::uint16_t width, std::string name = {});
+  Value concat(Value hi, Value lo, std::string name = {});
+  Value zext(Value a, std::uint16_t width, std::string name = {});
+  Value sext(Value a, std::uint16_t width, std::string name = {});
+  /// slice(a, bit, 1)
+  Value bit(Value a, int bitIndex, std::string name = {});
+
+  // --- arithmetic / compare -----------------------------------------------
+
+  Value add(Value a, Value b, std::string name = {});
+  Value sub(Value a, Value b, std::string name = {});
+  Value eq(Value a, Value b, std::string name = {});
+  Value ne(Value a, Value b, std::string name = {});
+  Value lt(Value a, Value b, bool isSigned, std::string name = {});
+  Value le(Value a, Value b, bool isSigned, std::string name = {});
+  Value gt(Value a, Value b, bool isSigned, std::string name = {});
+  Value ge(Value a, Value b, bool isSigned, std::string name = {});
+
+  // --- select ---------------------------------------------------------------
+
+  /// sel must be 1 bit wide; a and b equal width.
+  Value mux(Value sel, Value a, Value b, std::string name = {});
+
+  // --- black boxes ----------------------------------------------------------
+
+  Value mul(Value a, Value b, std::uint16_t width, std::string name = {});
+  Value load(ResourceClass rc, Value addr, std::uint16_t width,
+             std::string name = {});
+  /// Returns the (width-0) store node id for dependence tracking.
+  Value store(ResourceClass rc, Value addr, Value data, std::string name = {});
+
+  // --- sinks ---------------------------------------------------------------
+
+  NodeId output(Value v, std::string name);
+
+  /// Width of the node behind a value.
+  std::uint16_t width(Value v) const { return graph_.node(v.id).width; }
+
+ private:
+  Value binary(OpKind kind, Value a, Value b, std::uint16_t width,
+               std::string name, bool isSigned = false);
+
+  Graph graph_;
+};
+
+}  // namespace lamp::ir
+
+#endif  // LAMP_IR_BUILDER_H

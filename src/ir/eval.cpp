@@ -1,0 +1,85 @@
+#include "ir/eval.h"
+
+namespace lamp::ir {
+
+std::uint64_t maskToWidth(std::uint64_t value, std::uint16_t width) {
+  if (width >= 64) return value;
+  return value & ((std::uint64_t{1} << width) - 1);
+}
+
+std::int64_t toSignedWidth(std::uint64_t v, std::uint16_t width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  if (v & sign) {
+    return static_cast<std::int64_t>(v | ~((std::uint64_t{1} << width) - 1));
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t> evalPureOp(const Graph& g, NodeId v,
+                                        std::span<const std::uint64_t> ops) {
+  const Node& n = g.node(v);
+  const auto opw = [&](std::size_t i) {
+    return g.node(n.operands[i].src).width;
+  };
+  switch (n.kind) {
+    case OpKind::Input:
+    case OpKind::Load:
+    case OpKind::Store:
+      return std::nullopt;
+    case OpKind::Const:
+      return maskToWidth(n.constValue, n.width);
+    case OpKind::Output:
+      return ops[0];
+    case OpKind::And: return ops[0] & ops[1];
+    case OpKind::Or: return ops[0] | ops[1];
+    case OpKind::Xor: return ops[0] ^ ops[1];
+    case OpKind::Not: return maskToWidth(~ops[0], n.width);
+    case OpKind::Shl: return maskToWidth(ops[0] << n.attr0, n.width);
+    case OpKind::Shr: return ops[0] >> n.attr0;
+    case OpKind::AShr: {
+      const std::int64_t s = toSignedWidth(ops[0], opw(0));
+      return maskToWidth(static_cast<std::uint64_t>(s >> n.attr0), n.width);
+    }
+    case OpKind::Slice: return maskToWidth(ops[0] >> n.attr0, n.width);
+    case OpKind::Concat:
+      return maskToWidth((ops[0] << opw(1)) | ops[1], n.width);
+    case OpKind::ZExt: return ops[0];
+    case OpKind::SExt:
+      return maskToWidth(
+          static_cast<std::uint64_t>(toSignedWidth(ops[0], opw(0))), n.width);
+    case OpKind::Add: return maskToWidth(ops[0] + ops[1], n.width);
+    case OpKind::Sub: return maskToWidth(ops[0] - ops[1], n.width);
+    case OpKind::Eq: return ops[0] == ops[1] ? 1 : 0;
+    case OpKind::Ne: return ops[0] != ops[1] ? 1 : 0;
+    case OpKind::Lt:
+      return (n.isSigned
+                  ? toSignedWidth(ops[0], opw(0)) < toSignedWidth(ops[1], opw(1))
+                  : ops[0] < ops[1])
+                 ? 1
+                 : 0;
+    case OpKind::Le:
+      return (n.isSigned
+                  ? toSignedWidth(ops[0], opw(0)) <= toSignedWidth(ops[1], opw(1))
+                  : ops[0] <= ops[1])
+                 ? 1
+                 : 0;
+    case OpKind::Gt:
+      return (n.isSigned
+                  ? toSignedWidth(ops[0], opw(0)) > toSignedWidth(ops[1], opw(1))
+                  : ops[0] > ops[1])
+                 ? 1
+                 : 0;
+    case OpKind::Ge:
+      return (n.isSigned
+                  ? toSignedWidth(ops[0], opw(0)) >= toSignedWidth(ops[1], opw(1))
+                  : ops[0] >= ops[1])
+                 ? 1
+                 : 0;
+    case OpKind::Mux: return ops[0] ? ops[1] : ops[2];
+    case OpKind::Mul: return maskToWidth(ops[0] * ops[1], n.width);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lamp::ir

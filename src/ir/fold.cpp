@@ -1,0 +1,175 @@
+#include <optional>
+#include <vector>
+
+#include "ir/eval.h"
+#include "ir/passes.h"
+
+namespace lamp::ir {
+
+namespace {
+
+enum class Act : std::uint8_t { Keep, Fold, Forward };
+
+struct Target {
+  NodeId node = kNoNode;
+  std::uint32_t dist = 0;
+};
+
+}  // namespace
+
+Graph foldConstants(const Graph& g, FoldStats* stats) {
+  FoldStats st;
+  std::vector<Act> act(g.size(), Act::Keep);
+  std::vector<std::uint64_t> foldVal(g.size(), 0);
+  std::vector<Target> fwd(g.size());
+
+  // Resolve forwarding chains with a cycle guard (cycles can arise from
+  // mutually-forwarding loop-carried identities; they stay Keep).
+  const auto resolve = [&](NodeId u, std::uint32_t d) {
+    Target t{u, d};
+    for (int hops = 0; act[t.node] == Act::Forward; ++hops) {
+      if (hops > static_cast<int>(g.size())) break;  // defensive
+      const Target& next = fwd[t.node];
+      t = Target{next.node, t.dist + next.dist};
+    }
+    return t;
+  };
+
+  // Constant value of a resolved operand reference, if any. Loop-carried
+  // references are never constant (register reset semantics).
+  const auto constOf = [&](const Target& t) -> std::optional<std::uint64_t> {
+    if (t.dist != 0) return std::nullopt;
+    if (act[t.node] == Act::Fold) return foldVal[t.node];
+    if (g.node(t.node).kind == OpKind::Const) {
+      return maskToWidth(g.node(t.node).constValue, g.node(t.node).width);
+    }
+    return std::nullopt;
+  };
+
+  for (const NodeId v : topologicalOrder(g)) {
+    const Node& n = g.node(v);
+    if (!isLutMappable(n.kind) && n.kind != OpKind::Const) continue;
+
+    std::vector<Target> res;
+    std::vector<std::optional<std::uint64_t>> cval;
+    bool allConst = true;
+    for (const Edge& e : n.operands) {
+      res.push_back(resolve(e.src, e.dist));
+      cval.push_back(constOf(res.back()));
+      allConst &= cval.back().has_value();
+    }
+
+    // Full fold.
+    if (allConst && !n.operands.empty()) {
+      std::vector<std::uint64_t> ops;
+      for (const auto& c : cval) ops.push_back(*c);
+      if (const auto value = evalPureOp(g, v, ops)) {
+        act[v] = Act::Fold;
+        foldVal[v] = *value;
+        ++st.folded;
+        continue;
+      }
+    }
+
+    // Identity forwarding.
+    const auto forward = [&](std::size_t operand) {
+      act[v] = Act::Forward;
+      fwd[v] = res[operand];
+      ++st.forwarded;
+    };
+    const auto opWidth = [&](std::size_t i) {
+      return g.node(n.operands[i].src).width;
+    };
+    switch (n.kind) {
+      case OpKind::And:
+        if (cval[0] && *cval[0] == maskToWidth(~0ull, n.width)) forward(1);
+        else if (cval[1] && *cval[1] == maskToWidth(~0ull, n.width)) forward(0);
+        break;
+      case OpKind::Or:
+      case OpKind::Xor:
+        if (cval[0] && *cval[0] == 0) forward(1);
+        else if (cval[1] && *cval[1] == 0) forward(0);
+        break;
+      case OpKind::Add:
+      case OpKind::Sub:
+        if (cval[1] && *cval[1] == 0) forward(0);
+        else if (n.kind == OpKind::Add && cval[0] && *cval[0] == 0) forward(1);
+        break;
+      case OpKind::Shl:
+      case OpKind::Shr:
+      case OpKind::AShr:
+        if (n.attr0 == 0) forward(0);
+        break;
+      case OpKind::ZExt:
+      case OpKind::SExt:
+        if (n.width == opWidth(0)) forward(0);
+        break;
+      case OpKind::Slice:
+        if (n.attr0 == 0 && n.width == opWidth(0)) forward(0);
+        break;
+      case OpKind::Mux:
+        if (cval[0]) forward(*cval[0] ? 1 : 2);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Break forwarding cycles (mutually-forwarding loop identities): every
+  // node on an unterminated chain is demoted to Keep. Fold decisions made
+  // earlier stay sound — resolving through such a chain never produced a
+  // constant.
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (act[v] != Act::Forward) continue;
+    std::vector<NodeId> path;
+    Target t{v, 0};
+    while (act[t.node] == Act::Forward && path.size() <= g.size()) {
+      path.push_back(t.node);
+      const Target& next = fwd[t.node];
+      t = Target{next.node, t.dist + next.dist};
+    }
+    if (path.size() > g.size()) {
+      for (const NodeId p : path) {
+        if (act[p] == Act::Forward) {
+          act[p] = Act::Keep;
+          --st.forwarded;
+        }
+      }
+    }
+  }
+
+  // Materialize: new ids for surviving nodes (two passes — loop-carried
+  // edges may point forward).
+  std::vector<NodeId> newId(g.size(), kNoNode);
+  Graph out(g.name());
+  {
+    NodeId next = 0;
+    for (NodeId v = 0; v < g.size(); ++v) {
+      if (act[v] != Act::Forward) newId[v] = next++;
+    }
+  }
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (act[v] == Act::Forward) continue;
+    if (act[v] == Act::Fold) {
+      Node c;
+      c.kind = OpKind::Const;
+      c.width = g.node(v).width;
+      c.constValue = foldVal[v];
+      c.name = g.node(v).name;
+      out.add(std::move(c));
+      continue;
+    }
+    Node copy = g.node(v);
+    for (Edge& e : copy.operands) {
+      const Target t = resolve(e.src, e.dist);
+      e.src = newId[t.node];
+      e.dist = t.dist;
+    }
+    out.add(std::move(copy));
+  }
+
+  if (stats) *stats = st;
+  return compact(out);
+}
+
+}  // namespace lamp::ir

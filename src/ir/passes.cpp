@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <deque>
+#include <ostream>
+
+#include "ir/passes.h"
+
+namespace lamp::ir {
+
+std::vector<NodeId> topologicalOrder(const Graph& g) {
+  std::vector<std::uint32_t> indeg(g.size(), 0);
+  for (NodeId id = 0; id < g.size(); ++id) {
+    for (const Edge& e : g.node(id).operands) {
+      if (e.dist == 0) ++indeg[id];
+    }
+  }
+  // Kahn's algorithm with an id-ordered frontier for determinism.
+  std::vector<NodeId> order;
+  order.reserve(g.size());
+  std::deque<NodeId> frontier;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (indeg[id] == 0) frontier.push_back(id);
+  }
+  const auto& fanouts = g.fanouts();
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    order.push_back(id);
+    for (const Graph::Fanout& f : fanouts[id]) {
+      if (g.node(f.dst).operands[f.operandIndex].dist != 0) continue;
+      if (--indeg[f.dst] == 0) frontier.push_back(f.dst);
+    }
+  }
+  return order;
+}
+
+Graph compact(const Graph& g, std::vector<NodeId>* oldToNew) {
+  std::vector<bool> live(g.size(), false);
+  std::vector<NodeId> work;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const OpKind k = g.node(id).kind;
+    if (k == OpKind::Output || k == OpKind::Store) {
+      live[id] = true;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (const Edge& e : g.node(id).operands) {
+      if (!live[e.src]) {
+        live[e.src] = true;
+        work.push_back(e.src);
+      }
+    }
+  }
+
+  // Two passes: ids first, then copies — loop-carried (dist > 0) edges may
+  // reference nodes that appear later (or the node itself).
+  std::vector<NodeId> remap(g.size(), kNoNode);
+  NodeId next = 0;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (live[id]) remap[id] = next++;
+  }
+  Graph out(g.name());
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (!live[id]) continue;
+    Node copy = g.node(id);
+    for (Edge& e : copy.operands) e.src = remap[e.src];
+    out.add(std::move(copy));
+  }
+  if (oldToNew) *oldToNew = std::move(remap);
+  return out;
+}
+
+std::size_t combinationalDepth(const Graph& g) {
+  std::vector<std::size_t> depth(g.size(), 0);
+  std::size_t best = 0;
+  for (const NodeId id : topologicalOrder(g)) {
+    std::size_t d = 0;
+    for (const Edge& e : g.node(id).operands) {
+      if (e.dist == 0) d = std::max(d, depth[e.src] + 1);
+    }
+    depth[id] = d;
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+void writeDot(std::ostream& os, const Graph& g) {
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const Node& n = g.node(id);
+    os << "  n" << id << " [label=\"" << opKindName(n.kind);
+    if (!n.name.empty()) os << "\\n" << n.name;
+    os << "\\nw" << n.width << "\"";
+    if (isBlackBox(n.kind)) os << ", shape=box";
+    os << "];\n";
+  }
+  for (NodeId id = 0; id < g.size(); ++id) {
+    for (const Edge& e : g.node(id).operands) {
+      os << "  n" << e.src << " -> n" << id;
+      if (e.dist != 0) os << " [style=dashed, label=\"d" << e.dist << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace lamp::ir

@@ -1,0 +1,69 @@
+#ifndef LAMP_IR_PASSES_H
+#define LAMP_IR_PASSES_H
+
+/// \file passes.h
+/// Structural analyses and transforms over CDFGs: verification,
+/// topological ordering (back-edge aware), dead-node elimination,
+/// GraphViz and text serialization.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace lamp::ir {
+
+/// Checks structural invariants:
+///  - operand ids in range, operand counts/widths legal per OpKind,
+///  - shift amounts within width, slices within bounds,
+///  - no combinational cycles (cycles through dist=0 edges only),
+///  - every Output has exactly one operand,
+///  - no surviving placeholder uses.
+/// Returns std::nullopt on success, else a human-readable diagnostic.
+std::optional<std::string> verify(const Graph& g);
+
+/// Topological order of all nodes over intra-iteration (dist == 0) edges.
+/// Loop-carried (dist > 0) edges are ignored, so a verified graph always
+/// has such an order. Ties are broken by node id for determinism.
+std::vector<NodeId> topologicalOrder(const Graph& g);
+
+/// Dead-node elimination: keeps only nodes reachable (against edges,
+/// regardless of distance) from Output and Store nodes. Returns the
+/// compacted graph; `oldToNew`, if non-null, receives the id remapping
+/// (kNoNode for removed nodes).
+Graph compact(const Graph& g, std::vector<NodeId>* oldToNew = nullptr);
+
+/// Longest path length (#edges) from any source over dist=0 edges;
+/// a rough "logic depth in operations" measure.
+std::size_t combinationalDepth(const Graph& g);
+
+struct FoldStats {
+  int folded = 0;     ///< nodes replaced by constants
+  int forwarded = 0;  ///< identity nodes wired through
+};
+
+/// Constant folding + identity forwarding (what an HLS front-end's
+/// optimizer does before scheduling): pure operations whose intra-
+/// iteration operands are all constant become Const nodes; neutral
+/// operations (x&~0, x|0, x^0, shifts by 0, width-preserving extends and
+/// slices, muxes with constant selects) are wired through. Loop-carried
+/// (dist > 0) operands are never treated as constants — their first
+/// iterations read the register reset value. Dead nodes are compacted
+/// away; the result is verified-equivalent (see FoldTest).
+Graph foldConstants(const Graph& g, FoldStats* stats = nullptr);
+
+/// Writes a GraphViz dot rendering (for debugging / documentation).
+void writeDot(std::ostream& os, const Graph& g);
+
+/// Serializes the graph to a stable line-oriented text format.
+void writeText(std::ostream& os, const Graph& g);
+
+/// Parses the format produced by writeText(). Returns std::nullopt and
+/// fills `error` on malformed input.
+std::optional<Graph> readText(std::istream& is, std::string* error = nullptr);
+
+}  // namespace lamp::ir
+
+#endif  // LAMP_IR_PASSES_H

@@ -1,0 +1,110 @@
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "ir/passes.h"
+
+namespace lamp::ir {
+
+namespace {
+
+void writeQuoted(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+bool readQuoted(std::istream& is, std::string& out) {
+  char c = 0;
+  is >> c;
+  if (!is || c != '"') return false;
+  out.clear();
+  while (is.get(c)) {
+    if (c == '\\') {
+      if (!is.get(c)) return false;
+      out += c;
+    } else if (c == '"') {
+      return true;
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void writeText(std::ostream& os, const Graph& g) {
+  os << "lampgraph v1 ";
+  writeQuoted(os, g.name());
+  os << "\n";
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const Node& n = g.node(id);
+    os << "n " << opKindName(n.kind) << ' ' << n.width << ' '
+       << (n.isSigned ? 1 : 0) << ' ' << n.attr0 << ' ' << n.constValue << ' '
+       << n.operands.size();
+    for (const Edge& e : n.operands) os << ' ' << e.src << ':' << e.dist;
+    os << ' ';
+    writeQuoted(os, n.name);
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+std::optional<Graph> readText(std::istream& is, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Graph> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "lampgraph" || version != "v1") return fail("bad header");
+  std::string name;
+  if (!readQuoted(is, name)) return fail("bad graph name");
+  Graph g(name);
+
+  std::string tok;
+  while (is >> tok) {
+    if (tok == "end") {
+      if (const auto diag = verify(g)) return fail("verify: " + *diag);
+      return g;
+    }
+    if (tok != "n") return fail("expected 'n' or 'end', got '" + tok + "'");
+    std::string kindName;
+    int width = 0, isSigned = 0;
+    std::int64_t attr0 = 0;
+    std::uint64_t constValue = 0;
+    std::size_t nops = 0;
+    is >> kindName >> width >> isSigned >> attr0 >> constValue >> nops;
+    if (!is) return fail("malformed node line");
+    Node n;
+    if (!parseOpKind(kindName, n.kind)) return fail("bad kind " + kindName);
+    if (width < 0 || width > 64) return fail("bad width");
+    n.width = static_cast<std::uint16_t>(width);
+    n.isSigned = isSigned != 0;
+    n.attr0 = static_cast<std::int32_t>(attr0);
+    n.constValue = constValue;
+    for (std::size_t k = 0; k < nops; ++k) {
+      std::string edge;
+      is >> edge;
+      const auto colon = edge.find(':');
+      if (colon == std::string::npos) return fail("bad edge " + edge);
+      Edge e;
+      e.src = static_cast<NodeId>(std::stoul(edge.substr(0, colon)));
+      e.dist = static_cast<std::uint32_t>(std::stoul(edge.substr(colon + 1)));
+      if (e.src >= g.size() && e.dist == 0) {
+        return fail("forward dist-0 reference in edge " + edge);
+      }
+      n.operands.push_back(e);
+    }
+    if (!readQuoted(is, n.name)) return fail("bad node name");
+    g.add(std::move(n));
+  }
+  return fail("missing 'end'");
+}
+
+}  // namespace lamp::ir

@@ -1,0 +1,187 @@
+#include <sstream>
+#include <string>
+
+#include "ir/passes.h"
+
+namespace lamp::ir {
+
+namespace {
+
+/// Expected operand count per kind; -1 means "any".
+int expectedOperands(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input:
+    case OpKind::Const:
+      return 0;
+    case OpKind::Output:
+    case OpKind::Not:
+    case OpKind::Shl:
+    case OpKind::Shr:
+    case OpKind::AShr:
+    case OpKind::Slice:
+    case OpKind::ZExt:
+    case OpKind::SExt:
+    case OpKind::Load:
+      return 1;
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Concat:
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::Mul:
+    case OpKind::Store:
+      return 2;
+    case OpKind::Mux:
+      return 3;
+  }
+  return -1;
+}
+
+std::string describe(const Graph& g, NodeId id) {
+  std::ostringstream os;
+  const Node& n = g.node(id);
+  os << "node " << id << " (" << opKindName(n.kind);
+  if (!n.name.empty()) os << " '" << n.name << "'";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> verify(const Graph& g) {
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const Node& n = g.node(id);
+    const int want = expectedOperands(n.kind);
+    if (want >= 0 && static_cast<int>(n.operands.size()) != want) {
+      return describe(g, id) + ": expected " + std::to_string(want) +
+             " operands, has " + std::to_string(n.operands.size());
+    }
+    for (const Edge& e : n.operands) {
+      if (e.src >= g.size()) {
+        return describe(g, id) + ": operand id out of range";
+      }
+      const Node& src = g.node(e.src);
+      if (src.kind == OpKind::Store || src.kind == OpKind::Output) {
+        return describe(g, id) + ": consumes a value-less node";
+      }
+      if (src.name.rfind("placeholder:", 0) == 0 &&
+          src.name.find(":bound") == std::string::npos) {
+        return describe(g, id) + ": uses an unbound placeholder";
+      }
+    }
+    auto opw = [&](std::size_t k) { return g.node(n.operands[k].src).width; };
+    switch (n.kind) {
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Add:
+      case OpKind::Sub:
+        if (opw(0) != opw(1) || n.width != opw(0)) {
+          return describe(g, id) + ": operand/result width mismatch";
+        }
+        break;
+      case OpKind::Eq:
+      case OpKind::Ne:
+      case OpKind::Lt:
+      case OpKind::Le:
+      case OpKind::Gt:
+      case OpKind::Ge:
+        if (opw(0) != opw(1) || n.width != 1) {
+          return describe(g, id) + ": compare width mismatch";
+        }
+        break;
+      case OpKind::Not:
+      case OpKind::Output:
+        if (n.width != opw(0)) {
+          return describe(g, id) + ": width must match operand";
+        }
+        break;
+      case OpKind::Shl:
+      case OpKind::Shr:
+      case OpKind::AShr:
+        if (n.width != opw(0)) {
+          return describe(g, id) + ": shift width must match operand";
+        }
+        if (n.attr0 < 0 || n.attr0 >= n.width) {
+          return describe(g, id) + ": shift amount out of range";
+        }
+        break;
+      case OpKind::Slice:
+        if (n.attr0 < 0 || n.attr0 + n.width > opw(0)) {
+          return describe(g, id) + ": slice out of bounds";
+        }
+        break;
+      case OpKind::Concat:
+        if (n.width != opw(0) + opw(1)) {
+          return describe(g, id) + ": concat width mismatch";
+        }
+        break;
+      case OpKind::ZExt:
+      case OpKind::SExt:
+        if (n.width < opw(0)) {
+          return describe(g, id) + ": extension narrows";
+        }
+        break;
+      case OpKind::Mux:
+        if (opw(0) != 1 || opw(1) != opw(2) || n.width != opw(1)) {
+          return describe(g, id) + ": mux width mismatch";
+        }
+        break;
+      case OpKind::Store:
+        if (n.width != 0) {
+          return describe(g, id) + ": store must have width 0";
+        }
+        break;
+      default:
+        break;
+    }
+    if (n.kind != OpKind::Store && n.width == 0) {
+      return describe(g, id) + ": zero width";
+    }
+    if (n.width > 64) {
+      return describe(g, id) + ": width > 64 unsupported";
+    }
+  }
+
+  // Combinational cycle check: DFS over dist==0 edges.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(g.size(), Mark::White);
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  for (NodeId root = 0; root < g.size(); ++root) {
+    if (mark[root] != Mark::White) continue;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::Grey;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Node& n = g.node(id);
+      bool descended = false;
+      while (next < n.operands.size()) {
+        const Edge& e = n.operands[next++];
+        if (e.dist != 0) continue;
+        if (mark[e.src] == Mark::Grey) {
+          return "combinational cycle through " + describe(g, e.src);
+        }
+        if (mark[e.src] == Mark::White) {
+          mark[e.src] = Mark::Grey;
+          stack.emplace_back(e.src, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && next >= n.operands.size()) {
+        mark[id] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lamp::ir

@@ -1,0 +1,254 @@
+#include "lp/milp.h"
+
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+namespace lamp::lp {
+
+namespace {
+
+/// One open branch & bound node: bound overrides relative to the root,
+/// stored as a chain of single changes to keep memory linear in depth.
+struct BoundChange {
+  Var var = kNoVar;
+  double lb = 0.0;
+  double ub = 0.0;
+  std::shared_ptr<const BoundChange> parent;
+};
+
+struct NodeRec {
+  std::shared_ptr<const BoundChange> changes;
+  double parentBound = -kInf;  ///< LP bound of the parent (pruning key)
+  int depth = 0;
+};
+
+}  // namespace
+
+MilpSolver::MilpSolver(const Model& model, MilpOptions opts)
+    : model_(model), opts_(std::move(opts)) {}
+
+void MilpSolver::addSos1Group(std::vector<Var> vars,
+                              std::vector<double> positions) {
+  sosVars_.push_back(std::move(vars));
+  sosPos_.push_back(std::move(positions));
+}
+
+void MilpSolver::setInitialIncumbent(std::vector<double> x) {
+  initialIncumbent_ = std::move(x);
+}
+
+Solution MilpSolver::solve() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  Solution best;
+  best.status = SolveStatus::NoSolution;
+  best.objective = kInf;
+  best.bestBound = -kInf;
+
+  if (!initialIncumbent_.empty() &&
+      model_.checkFeasible(initialIncumbent_, 1e-5).empty()) {
+    best.values = initialIncumbent_;
+    best.objective = model_.objective().evaluate(initialIncumbent_);
+    best.status = SolveStatus::Feasible;
+    if (opts_.onIncumbent) opts_.onIncumbent(best.objective, best.values);
+  }
+
+  // Shape-preserving presolve: same variables, tighter bounds, fewer
+  // rows. Every integer-feasible point (incl. the incumbent) survives.
+  PresolveStats preStats;
+  const Model presolved =
+      opts_.presolve ? presolve(model_, &preStats) : Model();
+  const Model& work = opts_.presolve ? presolved : model_;
+  if (preStats.infeasible) {
+    best.status = best.feasible() ? SolveStatus::Optimal
+                                  : SolveStatus::Infeasible;
+    best.wallSeconds = elapsed();
+    return best;
+  }
+
+  const std::size_t n = work.numVars();
+  std::vector<double> rootLb(n), rootUb(n);
+  for (Var v = 0; v < static_cast<Var>(n); ++v) {
+    rootLb[v] = work.lowerBound(v);
+    rootUb[v] = work.upperBound(v);
+  }
+
+  SimplexOptions lpOpts = opts_.lp;
+  IncrementalSimplex lpSolver(work, lpOpts);
+
+  // Map each variable to its SOS group, if any.
+  std::vector<std::int32_t> sosOf(n, -1);
+  for (std::size_t g = 0; g < sosVars_.size(); ++g) {
+    for (const Var v : sosVars_[g]) sosOf[v] = static_cast<std::int32_t>(g);
+  }
+
+  std::vector<NodeRec> stack;
+  stack.push_back(NodeRec{});
+
+  std::vector<double> lb(n), ub(n);
+  bool exploredAll = true;
+
+  while (!stack.empty()) {
+    if (elapsed() > opts_.timeLimitSeconds ||
+        best.branchNodes >= opts_.maxNodes) {
+      exploredAll = false;
+      break;
+    }
+    NodeRec node = std::move(stack.back());
+    stack.pop_back();
+    ++best.branchNodes;
+
+    if (best.feasible() &&
+        node.parentBound >= best.objective - opts_.absGapTol) {
+      continue;  // pruned by bound
+    }
+
+    // Materialize bounds for this node.
+    lb = rootLb;
+    ub = rootUb;
+    for (const BoundChange* ch = node.changes.get(); ch != nullptr;
+         ch = ch->parent.get()) {
+      lb[ch->var] = std::max(lb[ch->var], ch->lb);
+      ub[ch->var] = std::min(ub[ch->var], ch->ub);
+    }
+
+    lpSolver.setTimeLimit(std::max(0.1, opts_.timeLimitSeconds - elapsed()));
+    const SimplexResult lp = lpSolver.solve(lb, ub);
+    best.simplexIterations += lp.iterations;
+    if (lp.status == SolveStatus::Infeasible) continue;
+    if (lp.status != SolveStatus::Optimal) {
+      // LP hit its own limit or failed: can't trust a bound here.
+      exploredAll = false;
+      continue;
+    }
+    if (best.feasible() && lp.objective >= best.objective - opts_.absGapTol) {
+      continue;
+    }
+
+    // Find the most fractional integer variable, preferring SOS groups.
+    Var fracVar = kNoVar;
+    double fracScore = opts_.intTol;
+    std::int32_t fracGroup = -1;
+    for (Var v = 0; v < static_cast<Var>(n); ++v) {
+      if (!model_.isIntegerType(v)) continue;
+      const double x = lp.x[v];
+      const double f = std::abs(x - std::round(x));
+      if (f > fracScore) {
+        fracScore = f;
+        fracVar = v;
+        fracGroup = sosOf[v];
+      }
+    }
+
+    if (fracVar == kNoVar) {
+      // Integral: new incumbent. Round int vars exactly before storing.
+      std::vector<double> x = lp.x;
+      for (Var v = 0; v < static_cast<Var>(n); ++v) {
+        if (model_.isIntegerType(v)) x[v] = std::round(x[v]);
+      }
+      if (lp.objective < best.objective - 1e-12) {
+        best.values = std::move(x);
+        best.objective = lp.objective;
+        best.status = SolveStatus::Feasible;
+        if (opts_.onIncumbent) opts_.onIncumbent(best.objective, best.values);
+      }
+      continue;
+    }
+
+    if (fracGroup >= 0) {
+      // SOS1 branch: split the group on the position axis around the
+      // LP-relaxation's barycenter.
+      const auto& vars = sosVars_[fracGroup];
+      const auto& pos = sosPos_[fracGroup];
+      double wsum = 0.0, psum = 0.0;
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        const double xv = std::clamp(lp.x[vars[k]], 0.0, 1.0);
+        wsum += xv;
+        psum += xv * pos[k];
+      }
+      const double split = wsum > 0 ? psum / wsum : pos[pos.size() / 2];
+      // Members strictly above the split go to the "high" child; make sure
+      // both children exclude at least one *free* member.
+      std::vector<Var> lowSet, highSet;
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        if (ub[vars[k]] < 0.5) continue;  // already excluded here
+        (pos[k] <= split ? lowSet : highSet).push_back(vars[k]);
+      }
+      if (!lowSet.empty() && !highSet.empty()) {
+        auto mkChild = [&](const std::vector<Var>& exclude) {
+          std::shared_ptr<const BoundChange> chain = node.changes;
+          for (const Var v : exclude) {
+            auto ch = std::make_shared<BoundChange>();
+            ch->var = v;
+            ch->lb = rootLb[v];
+            ch->ub = 0.0;
+            ch->parent = chain;
+            chain = std::move(ch);
+          }
+          stack.push_back(NodeRec{chain, lp.objective, node.depth + 1});
+        };
+        // Dive first into the side with more LP mass: push it last.
+        double lowMass = 0.0;
+        for (const Var v : lowSet) lowMass += lp.x[v];
+        if (lowMass >= wsum / 2) {
+          mkChild(lowSet);   // child allowing only high
+          mkChild(highSet);  // child allowing only low — explored first
+        } else {
+          mkChild(highSet);
+          mkChild(lowSet);
+        }
+        continue;
+      }
+      // Degenerate group (all mass on one side): fall through to 0/1.
+    }
+
+    // Plain 0/1 (or integer floor/ceil) branching.
+    const double xv = lp.x[fracVar];
+    auto mkChild = [&](double clb, double cub) {
+      auto ch = std::make_shared<BoundChange>();
+      ch->var = fracVar;
+      ch->lb = clb;
+      ch->ub = cub;
+      ch->parent = node.changes;
+      stack.push_back(NodeRec{std::move(ch), lp.objective, node.depth + 1});
+    };
+    const double fl = std::floor(xv), ce = std::ceil(xv);
+    // Push the dive side last so DFS explores it first.
+    if ((xv - fl) > 0.5) {
+      mkChild(rootLb[fracVar], fl);
+      mkChild(ce, rootUb[fracVar]);
+    } else {
+      mkChild(ce, rootUb[fracVar]);
+      mkChild(rootLb[fracVar], fl);
+    }
+  }
+
+  best.wallSeconds = elapsed();
+  best.dualPivots = lpSolver.dualPivots();
+  best.coldSolves = lpSolver.coldSolves();
+  for (const NodeRec& rec : stack) {
+    best.bestBound = best.bestBound == -kInf
+                         ? rec.parentBound
+                         : std::min(best.bestBound, rec.parentBound);
+  }
+  if (exploredAll && stack.empty()) {
+    best.status = best.feasible() ? SolveStatus::Optimal
+                                  : SolveStatus::Infeasible;
+    if (best.feasible()) best.bestBound = best.objective;
+  } else if (best.feasible()) {
+    best.status = SolveStatus::Feasible;
+  } else {
+    best.status = SolveStatus::NoSolution;
+  }
+  return best;
+}
+
+}  // namespace lamp::lp

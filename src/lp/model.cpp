@@ -1,0 +1,152 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lamp::lp {
+
+std::string_view solveStatusName(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Feasible: return "feasible";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::NoSolution: return "no-solution";
+    case SolveStatus::Error: return "error";
+  }
+  return "?";
+}
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coef == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+double LinExpr::evaluate(const std::vector<double>& x) const {
+  double v = constant_;
+  for (const Term& t : terms_) v += t.coef * x[t.var];
+  return v;
+}
+
+Var Model::addVar(double lb, double ub, VarType type, std::string name) {
+  if (type == VarType::Binary) {
+    lb = std::max(lb, 0.0);
+    ub = std::min(ub, 1.0);
+  }
+  const Var v = static_cast<Var>(lb_.size());
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  type_.push_back(type);
+  varNames_.push_back(name.empty() ? "x" + std::to_string(v)
+                                   : std::move(name));
+  return v;
+}
+
+void Model::addConstraint(LinExpr expr, Sense sense, double rhs,
+                          std::string name) {
+  expr.normalize();
+  Constraint c;
+  c.terms = expr.terms();
+  c.sense = sense;
+  c.rhs = rhs - expr.constant();
+  c.name = name.empty() ? "c" + std::to_string(constraints_.size())
+                        : std::move(name);
+  constraints_.push_back(std::move(c));
+}
+
+void Model::setObjective(LinExpr expr) {
+  expr.normalize();
+  objective_ = std::move(expr);
+}
+
+std::size_t Model::numIntegerVars() const {
+  std::size_t n = 0;
+  for (const VarType t : type_) {
+    if (t != VarType::Continuous) ++n;
+  }
+  return n;
+}
+
+void Model::writeLp(std::ostream& os) const {
+  auto writeExpr = [&](const std::vector<Term>& terms) {
+    bool first = true;
+    for (const Term& t : terms) {
+      if (t.coef >= 0 && !first) os << " + ";
+      if (t.coef < 0) os << (first ? "- " : " - ");
+      os << std::abs(t.coef) << ' ' << varNames_[t.var];
+      first = false;
+    }
+    if (first) os << "0";
+  };
+
+  os << "\\ model: " << name_ << "\nMinimize\n obj: ";
+  writeExpr(objective_.terms());
+  if (objective_.constant() != 0.0) os << " + " << objective_.constant();
+  os << "\nSubject To\n";
+  for (const Constraint& c : constraints_) {
+    os << ' ' << c.name << ": ";
+    writeExpr(c.terms);
+    switch (c.sense) {
+      case Sense::Le: os << " <= "; break;
+      case Sense::Ge: os << " >= "; break;
+      case Sense::Eq: os << " = "; break;
+    }
+    os << c.rhs << "\n";
+  }
+  os << "Bounds\n";
+  for (Var v = 0; v < static_cast<Var>(numVars()); ++v) {
+    os << ' ' << lb_[v] << " <= " << varNames_[v] << " <= " << ub_[v] << "\n";
+  }
+  os << "Generals\n";
+  for (Var v = 0; v < static_cast<Var>(numVars()); ++v) {
+    if (isIntegerType(v)) os << ' ' << varNames_[v];
+  }
+  os << "\nEnd\n";
+}
+
+std::string Model::checkFeasible(const std::vector<double>& x,
+                                 double tol) const {
+  if (x.size() != numVars()) return "wrong assignment size";
+  std::ostringstream msg;
+  for (Var v = 0; v < static_cast<Var>(numVars()); ++v) {
+    if (x[v] < lb_[v] - tol || x[v] > ub_[v] + tol) {
+      msg << "bound violated: " << varNames_[v] << " = " << x[v] << " not in ["
+          << lb_[v] << ", " << ub_[v] << "]";
+      return msg.str();
+    }
+    if (isIntegerType(v) && std::abs(x[v] - std::round(x[v])) > tol) {
+      msg << "integrality violated: " << varNames_[v] << " = " << x[v];
+      return msg.str();
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coef * x[t.var];
+    const bool ok = (c.sense == Sense::Le && lhs <= c.rhs + tol) ||
+                    (c.sense == Sense::Ge && lhs >= c.rhs - tol) ||
+                    (c.sense == Sense::Eq && std::abs(lhs - c.rhs) <= tol);
+    if (!ok) {
+      msg << "constraint violated: " << c.name << " lhs=" << lhs
+          << " rhs=" << c.rhs;
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace lamp::lp

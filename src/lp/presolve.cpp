@@ -1,0 +1,183 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace lamp::lp {
+
+namespace {
+
+constexpr double kFeasTol = 1e-7;
+
+struct Row {
+  std::vector<Term> terms;
+  Sense sense = Sense::Le;
+  double rhs = 0.0;
+  std::string name;
+  bool dropped = false;
+};
+
+/// Minimum / maximum activity of a row under the current bounds.
+/// Infinite bounds propagate to infinite activities.
+void activity(const Row& row, const std::vector<double>& lb,
+              const std::vector<double>& ub, double& minAct, double& maxAct) {
+  minAct = 0.0;
+  maxAct = 0.0;
+  for (const Term& t : row.terms) {
+    const double lo = t.coef >= 0 ? lb[t.var] : ub[t.var];
+    const double hi = t.coef >= 0 ? ub[t.var] : lb[t.var];
+    minAct += t.coef * lo;
+    maxAct += t.coef * hi;
+  }
+}
+
+}  // namespace
+
+Model presolve(const Model& model, PresolveStats* statsOut, int maxPasses) {
+  PresolveStats stats;
+  const std::size_t n = model.numVars();
+  std::vector<double> lb(n), ub(n);
+  for (Var v = 0; v < static_cast<Var>(n); ++v) {
+    lb[v] = model.lowerBound(v);
+    ub[v] = model.upperBound(v);
+  }
+
+  // Rows in <= / >= / == form; we propagate on both sides of equalities.
+  std::vector<Row> rows;
+  rows.reserve(model.numConstraints());
+  for (const Constraint& c : model.constraints()) {
+    rows.push_back(Row{c.terms, c.sense, c.rhs, c.name, false});
+  }
+
+  const auto tighten = [&](Var v, double newLb, double newUb) {
+    bool changed = false;
+    if (model.isIntegerType(v)) {
+      newLb = std::ceil(newLb - 1e-9);
+      newUb = std::floor(newUb + 1e-9);
+    }
+    if (newLb > lb[v] + 1e-9) {
+      lb[v] = newLb;
+      changed = true;
+    }
+    if (newUb < ub[v] - 1e-9) {
+      ub[v] = newUb;
+      changed = true;
+    }
+    if (changed) ++stats.boundsTightened;
+    if (lb[v] > ub[v] + kFeasTol) stats.infeasible = true;
+    return changed;
+  };
+
+  for (int pass = 0; pass < maxPasses && !stats.infeasible; ++pass) {
+    ++stats.passes;
+    bool changed = false;
+    for (Row& row : rows) {
+      if (row.dropped) continue;
+
+      // Empty rows: pure feasibility checks.
+      if (row.terms.empty()) {
+        const bool ok = (row.sense == Sense::Le && 0.0 <= row.rhs + kFeasTol) ||
+                        (row.sense == Sense::Ge && 0.0 >= row.rhs - kFeasTol) ||
+                        (row.sense == Sense::Eq &&
+                         std::abs(row.rhs) <= kFeasTol);
+        if (!ok) stats.infeasible = true;
+        row.dropped = true;
+        ++stats.rowsDropped;
+        changed = true;
+        continue;
+      }
+
+      // Singleton rows become bounds.
+      if (row.terms.size() == 1) {
+        const Term& t = row.terms[0];
+        const double b = row.rhs / t.coef;
+        const bool flip = t.coef < 0;
+        switch (row.sense) {
+          case Sense::Le:
+            changed |= flip ? tighten(t.var, b, ub[t.var])
+                            : tighten(t.var, lb[t.var], b);
+            break;
+          case Sense::Ge:
+            changed |= flip ? tighten(t.var, lb[t.var], b)
+                            : tighten(t.var, b, ub[t.var]);
+            break;
+          case Sense::Eq:
+            changed |= tighten(t.var, b, b);
+            break;
+        }
+        row.dropped = true;
+        ++stats.singletonRows;
+        continue;
+      }
+
+      double minAct = 0.0, maxAct = 0.0;
+      activity(row, lb, ub, minAct, maxAct);
+
+      // Infeasibility / redundancy by activity bounds.
+      if (row.sense == Sense::Le || row.sense == Sense::Eq) {
+        if (minAct > row.rhs + 1e-6) {
+          stats.infeasible = true;
+          break;
+        }
+      }
+      if (row.sense == Sense::Ge || row.sense == Sense::Eq) {
+        if (maxAct < row.rhs - 1e-6) {
+          stats.infeasible = true;
+          break;
+        }
+      }
+      const bool leRedundant =
+          row.sense == Sense::Le && maxAct <= row.rhs + 1e-9;
+      const bool geRedundant =
+          row.sense == Sense::Ge && minAct >= row.rhs - 1e-9;
+      if (leRedundant || geRedundant) {
+        row.dropped = true;
+        ++stats.rowsDropped;
+        changed = true;
+        continue;
+      }
+
+      // Bound propagation: for <= (and the <= side of ==),
+      //   a_j x_j <= rhs - minAct(others); symmetrically for >=.
+      for (const Term& t : row.terms) {
+        if (!std::isfinite(minAct) && !std::isfinite(maxAct)) break;
+        const double lo = t.coef >= 0 ? lb[t.var] : ub[t.var];
+        const double hi = t.coef >= 0 ? ub[t.var] : lb[t.var];
+        if (row.sense != Sense::Ge && std::isfinite(minAct)) {
+          const double rest = minAct - t.coef * lo;
+          const double limit = (row.rhs - rest) / t.coef;
+          changed |= t.coef > 0 ? tighten(t.var, lb[t.var], limit)
+                                : tighten(t.var, limit, ub[t.var]);
+        }
+        if (row.sense != Sense::Le && std::isfinite(maxAct)) {
+          const double rest = maxAct - t.coef * hi;
+          const double limit = (row.rhs - rest) / t.coef;
+          changed |= t.coef > 0 ? tighten(t.var, limit, ub[t.var])
+                                : tighten(t.var, lb[t.var], limit);
+        }
+        if (stats.infeasible) break;
+      }
+      if (stats.infeasible) break;
+    }
+    if (!changed) break;
+  }
+
+  // Rebuild the reduced model with identical variable indexing.
+  Model out(model.name() + "_presolved");
+  for (Var v = 0; v < static_cast<Var>(n); ++v) {
+    out.addVar(lb[v], ub[v], model.varType(v), model.varName(v));
+  }
+  for (const Row& row : rows) {
+    if (row.dropped) continue;
+    LinExpr e;
+    for (const Term& t : row.terms) e.add(t.var, t.coef);
+    out.addConstraint(e, row.sense, row.rhs, row.name);
+  }
+  out.setObjective(model.objective());
+
+  if (statsOut) *statsOut = stats;
+  return out;
+}
+
+}  // namespace lamp::lp

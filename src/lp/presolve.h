@@ -1,0 +1,37 @@
+#ifndef LAMP_LP_PRESOLVE_H
+#define LAMP_LP_PRESOLVE_H
+
+/// \file presolve.h
+/// Shape-preserving MILP presolve: iterated bound propagation (with
+/// integral rounding on integer variables), redundant-row elimination and
+/// singleton-row absorption. The variable set and indexing are kept
+/// intact, so branch & bound can run on the reduced model with the same
+/// branching decisions and the same incumbent vectors.
+///
+/// Soundness for B&B: every *integer-feasible* point of the original
+/// model satisfies the tightened bounds (propagation only derives implied
+/// bounds; rounding uses integrality), and a row redundant over the root
+/// box stays redundant over every child box (children only shrink
+/// bounds). LP relaxation values may improve — that is the point.
+
+#include "lp/model.h"
+
+namespace lamp::lp {
+
+struct PresolveStats {
+  int boundsTightened = 0;
+  int rowsDropped = 0;
+  int singletonRows = 0;
+  int passes = 0;
+  bool infeasible = false;
+};
+
+/// Returns the reduced model (same variables, possibly tighter bounds,
+/// possibly fewer rows). When stats->infeasible is set, the model admits
+/// no solution and the returned model is the partially reduced one.
+Model presolve(const Model& model, PresolveStats* stats = nullptr,
+               int maxPasses = 6);
+
+}  // namespace lamp::lp
+
+#endif  // LAMP_LP_PRESOLVE_H

@@ -1,0 +1,688 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace lamp::lp {
+
+namespace {
+
+enum class ColState : std::uint8_t { AtLower, AtUpper, Basic, Free };
+
+/// Sparse structural columns + row data, built once per model.
+struct Csc {
+  std::vector<std::int32_t> colStart, rowIdx;
+  std::vector<double> val, rhs;
+  std::vector<Sense> sense;
+  std::size_t n = 0, m = 0;
+
+  static Csc build(const Model& model) {
+    Csc a;
+    a.n = model.numVars();
+    a.m = model.numConstraints();
+    std::vector<std::int32_t> counts(a.n, 0);
+    for (const Constraint& c : model.constraints()) {
+      for (const Term& t : c.terms) ++counts[t.var];
+    }
+    a.colStart.assign(a.n + 1, 0);
+    for (std::size_t j = 0; j < a.n; ++j) {
+      a.colStart[j + 1] = a.colStart[j] + counts[j];
+    }
+    a.rowIdx.resize(a.colStart[a.n]);
+    a.val.resize(a.colStart[a.n]);
+    std::vector<std::int32_t> fill(a.colStart.begin(), a.colStart.end() - 1);
+    a.rhs.resize(a.m);
+    a.sense.resize(a.m);
+    for (std::size_t i = 0; i < a.m; ++i) {
+      const Constraint& c = model.constraints()[i];
+      a.rhs[i] = c.rhs;
+      a.sense[i] = c.sense;
+      for (const Term& t : c.terms) {
+        a.rowIdx[fill[t.var]] = static_cast<std::int32_t>(i);
+        a.val[fill[t.var]] = t.coef;
+        ++fill[t.var];
+      }
+    }
+    return a;
+  }
+};
+
+/// All solver state: bounded revised simplex with a dense basis inverse.
+/// Persistent across solves for the incremental (dual) path.
+struct Worker {
+  const Csc* A = nullptr;
+  const Model* model = nullptr;
+  SimplexOptions opts;
+
+  std::vector<double> lb, ub, x, cost;
+  std::vector<ColState> state;
+  std::vector<std::int32_t> artRow;
+  std::vector<double> artSign;
+  std::vector<std::int32_t> basic;
+  std::vector<double> binv, xB, y, w, colBuf;
+
+  std::int64_t iterations = 0;
+  std::int64_t dualIterations = 0;
+  int degenerateRun = 0;
+  bool bland = false;
+  std::chrono::steady_clock::time_point deadline = {};
+  bool hasDeadline = false;
+
+  std::size_t m() const { return A->m; }
+  std::size_t n() const { return A->n; }
+  std::size_t numCols() const { return A->n + A->m + artRow.size(); }
+
+  void setDeadline() {
+    if (std::isfinite(opts.timeLimitSeconds)) {
+      hasDeadline = true;
+      deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opts.timeLimitSeconds));
+    } else {
+      hasDeadline = false;
+    }
+  }
+
+  bool timedOut() const {
+    return hasDeadline && std::chrono::steady_clock::now() > deadline;
+  }
+
+  template <typename F>
+  void forEachEntry(std::size_t col, F&& f) const {
+    if (col < A->n) {
+      for (std::int32_t k = A->colStart[col]; k < A->colStart[col + 1]; ++k) {
+        f(A->rowIdx[k], A->val[k]);
+      }
+    } else if (col < A->n + A->m) {
+      f(static_cast<std::int32_t>(col - A->n), 1.0);
+    } else {
+      f(artRow[col - A->n - A->m], artSign[col - A->n - A->m]);
+    }
+  }
+
+  double boundValue(std::size_t col) const {
+    switch (state[col]) {
+      case ColState::AtLower: return lb[col];
+      case ColState::AtUpper: return ub[col];
+      case ColState::Free: return 0.0;
+      case ColState::Basic: return x[col];
+    }
+    return 0.0;
+  }
+
+  void btran() {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t i = 0; i < m(); ++i) {
+      const double cb = cost[basic[i]];
+      if (cb == 0.0) continue;
+      const double* row = &binv[i * m()];
+      for (std::size_t k = 0; k < m(); ++k) y[k] += cb * row[k];
+    }
+  }
+
+  void ftran(std::size_t col) {
+    std::fill(colBuf.begin(), colBuf.end(), 0.0);
+    forEachEntry(col, [&](std::int32_t r, double v) { colBuf[r] += v; });
+    for (std::size_t i = 0; i < m(); ++i) {
+      const double* row = &binv[i * m()];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < m(); ++k) acc += row[k] * colBuf[k];
+      w[i] = acc;
+    }
+  }
+
+  double reducedCost(std::size_t col) const {
+    double d = cost[col];
+    forEachEntry(col, [&](std::int32_t r, double v) { d -= y[r] * v; });
+    return d;
+  }
+
+  void computeXB() {
+    std::fill(colBuf.begin(), colBuf.end(), 0.0);
+    for (std::size_t i = 0; i < m(); ++i) colBuf[i] = A->rhs[i];
+    for (std::size_t j = 0; j < numCols(); ++j) {
+      if (state[j] == ColState::Basic) continue;
+      const double v = boundValue(j);
+      x[j] = v;
+      if (v == 0.0) continue;
+      forEachEntry(j, [&](std::int32_t r, double a) { colBuf[r] -= a * v; });
+    }
+    for (std::size_t i = 0; i < m(); ++i) {
+      const double* row = &binv[i * m()];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < m(); ++k) acc += row[k] * colBuf[k];
+      xB[i] = acc;
+    }
+    for (std::size_t i = 0; i < m(); ++i) x[basic[i]] = xB[i];
+  }
+
+  bool refactor() {
+    std::vector<double> mat(m() * m(), 0.0);
+    for (std::size_t i = 0; i < m(); ++i) {
+      forEachEntry(basic[i],
+                   [&](std::int32_t r, double v) { mat[r * m() + i] += v; });
+    }
+    std::fill(binv.begin(), binv.end(), 0.0);
+    for (std::size_t i = 0; i < m(); ++i) binv[i * m() + i] = 1.0;
+    for (std::size_t col = 0; col < m(); ++col) {
+      std::size_t piv = col;
+      double best = std::abs(mat[col * m() + col]);
+      for (std::size_t r = col + 1; r < m(); ++r) {
+        if (std::abs(mat[r * m() + col]) > best) {
+          best = std::abs(mat[r * m() + col]);
+          piv = r;
+        }
+      }
+      if (best < 1e-11) return false;
+      if (piv != col) {
+        for (std::size_t k = 0; k < m(); ++k) {
+          std::swap(mat[piv * m() + k], mat[col * m() + k]);
+          std::swap(binv[piv * m() + k], binv[col * m() + k]);
+        }
+      }
+      const double inv = 1.0 / mat[col * m() + col];
+      for (std::size_t k = 0; k < m(); ++k) {
+        mat[col * m() + k] *= inv;
+        binv[col * m() + k] *= inv;
+      }
+      for (std::size_t r = 0; r < m(); ++r) {
+        if (r == col) continue;
+        const double f = mat[r * m() + col];
+        if (f == 0.0) continue;
+        for (std::size_t k = 0; k < m(); ++k) {
+          mat[r * m() + k] -= f * mat[col * m() + k];
+          binv[r * m() + k] -= f * binv[col * m() + k];
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Elementary pivot update of Binv around row r with direction w.
+  void updateBinv(std::size_t r) {
+    double* prow = &binv[r * m()];
+    const double inv = 1.0 / w[r];
+    for (std::size_t k = 0; k < m(); ++k) prow[k] *= inv;
+    for (std::size_t i = 0; i < m(); ++i) {
+      if (i == r) continue;
+      const double f = w[i];
+      if (f == 0.0) continue;
+      double* row = &binv[i * m()];
+      for (std::size_t k = 0; k < m(); ++k) row[k] -= f * prow[k];
+    }
+  }
+
+  /// Primal simplex with the current `cost`. Returns Optimal, Unbounded,
+  /// NoSolution (limits) or Error.
+  SolveStatus iterate() {
+    int sinceCheck = 0;
+    while (true) {
+      if (iterations >= opts.maxIterations) return SolveStatus::NoSolution;
+      if ((iterations & 0xFF) == 0 && timedOut()) {
+        return SolveStatus::NoSolution;
+      }
+      ++iterations;
+
+      btran();
+
+      std::size_t enter = numCols();
+      double bestScore = opts.optTol;
+      int enterDir = +1;
+      for (std::size_t j = 0; j < numCols(); ++j) {
+        if (state[j] == ColState::Basic) continue;
+        if (lb[j] == ub[j] && state[j] != ColState::Free) continue;
+        const double d = reducedCost(j);
+        double score = 0.0;
+        int dir = +1;
+        if (state[j] == ColState::AtLower && d < -opts.optTol) {
+          score = -d;
+        } else if (state[j] == ColState::AtUpper && d > opts.optTol) {
+          score = d;
+          dir = -1;
+        } else if (state[j] == ColState::Free && std::abs(d) > opts.optTol) {
+          score = std::abs(d);
+          dir = d < 0 ? +1 : -1;
+        } else {
+          continue;
+        }
+        if (bland) {
+          enter = j;
+          enterDir = dir;
+          break;
+        }
+        if (score > bestScore) {
+          bestScore = score;
+          enter = j;
+          enterDir = dir;
+        }
+      }
+      if (enter == numCols()) return SolveStatus::Optimal;
+
+      ftran(enter);
+      const int sigma = enterDir;
+
+      double limit = ub[enter] - lb[enter];
+      if (!std::isfinite(limit)) limit = kInf;
+      double bestDelta = limit;
+      std::size_t leaveRow = m();
+      double leaveAt = 0.0;
+      for (std::size_t i = 0; i < m(); ++i) {
+        const double rate = -sigma * w[i];
+        if (std::abs(rate) < 1e-10) continue;
+        const std::size_t bcol = basic[i];
+        double delta, hit;
+        if (rate > 0) {
+          if (!std::isfinite(ub[bcol])) continue;
+          delta = (ub[bcol] - xB[i]) / rate;
+          hit = ub[bcol];
+        } else {
+          if (!std::isfinite(lb[bcol])) continue;
+          delta = (lb[bcol] - xB[i]) / rate;
+          hit = lb[bcol];
+        }
+        if (delta < -opts.feasTol) delta = 0.0;
+        if (delta < bestDelta - 1e-12 ||
+            (delta < bestDelta + 1e-12 && leaveRow < m() &&
+             std::abs(w[i]) > std::abs(w[leaveRow]))) {
+          bestDelta = std::max(delta, 0.0);
+          leaveRow = i;
+          leaveAt = hit;
+        }
+      }
+
+      if (!std::isfinite(bestDelta)) return SolveStatus::Unbounded;
+
+      if (bestDelta <= 1e-10) {
+        if (++degenerateRun > 200) bland = true;
+      } else {
+        degenerateRun = 0;
+        if (bland && ++sinceCheck > 50) {
+          bland = false;
+          sinceCheck = 0;
+        }
+      }
+
+      const double step = sigma * bestDelta;
+      for (std::size_t i = 0; i < m(); ++i) {
+        xB[i] -= w[i] * step;
+        x[basic[i]] = xB[i];
+      }
+
+      if (leaveRow == m()) {
+        state[enter] = state[enter] == ColState::AtLower ? ColState::AtUpper
+                                                         : ColState::AtLower;
+        x[enter] = boundValue(enter);
+        continue;
+      }
+
+      const std::size_t leave = basic[leaveRow];
+      if (std::abs(w[leaveRow]) < 1e-9) {
+        if (!refactor()) return SolveStatus::Error;
+        computeXB();
+        continue;
+      }
+
+      x[enter] = boundValue(enter) + step;
+      state[enter] = ColState::Basic;
+      x[leave] = leaveAt;
+      state[leave] =
+          (std::abs(leaveAt - ub[leave]) < std::abs(leaveAt - lb[leave]))
+              ? ColState::AtUpper
+              : ColState::AtLower;
+      updateBinv(leaveRow);
+      basic[leaveRow] = static_cast<std::int32_t>(enter);
+      xB[leaveRow] = x[enter];
+
+      if ((iterations % 2000) == 0) {
+        if (!refactor()) return SolveStatus::Error;
+        computeXB();
+      }
+    }
+  }
+
+  /// Dual simplex: restores primal feasibility from a dual-feasible
+  /// basis (reduced-cost signs are unaffected by bound changes).
+  /// Returns Optimal (primal feasible), Infeasible, NoSolution or Error.
+  SolveStatus dualRestore(std::int64_t maxPivots) {
+    for (std::int64_t pivots = 0; pivots < maxPivots; ++pivots) {
+      if ((pivots & 0x3F) == 0 && timedOut()) return SolveStatus::NoSolution;
+
+      // Leaving variable: most violated basic.
+      std::size_t r = m();
+      double worst = opts.feasTol * 10;
+      int dir = 0;
+      for (std::size_t i = 0; i < m(); ++i) {
+        const std::size_t col = basic[i];
+        if (xB[i] > ub[col] + opts.feasTol) {
+          const double v = xB[i] - ub[col];
+          if (v > worst) {
+            worst = v;
+            r = i;
+            dir = +1;
+          }
+        } else if (xB[i] < lb[col] - opts.feasTol) {
+          const double v = lb[col] - xB[i];
+          if (v > worst) {
+            worst = v;
+            r = i;
+            dir = -1;
+          }
+        }
+      }
+      if (r == m()) return SolveStatus::Optimal;
+
+      btran();
+      const double* rowR = &binv[r * m()];
+
+      std::size_t enter = numCols();
+      double bestRatio = kInf;
+      double bestAlpha = 0.0;
+      for (std::size_t j = 0; j < numCols(); ++j) {
+        if (state[j] == ColState::Basic) continue;
+        if (lb[j] == ub[j] && state[j] != ColState::Free) continue;
+        double alpha = 0.0;
+        forEachEntry(j,
+                     [&](std::int32_t row, double v) { alpha += rowR[row] * v; });
+        if (std::abs(alpha) < 1e-9) continue;
+        const double signedAlpha = dir * alpha;
+        bool eligible = false;
+        if (state[j] == ColState::AtLower && signedAlpha > 0) eligible = true;
+        if (state[j] == ColState::AtUpper && signedAlpha < 0) eligible = true;
+        if (state[j] == ColState::Free) eligible = true;
+        if (!eligible) continue;
+        const double d = reducedCost(j);
+        const double ratio = std::max(0.0, std::abs(d)) / std::abs(alpha);
+        if (ratio < bestRatio - 1e-12 ||
+            (ratio < bestRatio + 1e-12 && std::abs(alpha) > std::abs(bestAlpha))) {
+          bestRatio = ratio;
+          bestAlpha = alpha;
+          enter = j;
+        }
+      }
+      if (enter == numCols()) return SolveStatus::Infeasible;
+
+      ftran(enter);
+      if (std::abs(w[r]) < 1e-9) {
+        if (!refactor()) return SolveStatus::Error;
+        computeXB();
+        continue;
+      }
+
+      const std::size_t leave = basic[r];
+      const double target = dir > 0 ? ub[leave] : lb[leave];
+      const double t = (xB[r] - target) / w[r];
+
+      for (std::size_t i = 0; i < m(); ++i) {
+        xB[i] -= w[i] * t;
+        x[basic[i]] = xB[i];
+      }
+      x[enter] = boundValue(enter) + t;
+      state[enter] = ColState::Basic;
+      x[leave] = target;
+      state[leave] = dir > 0 ? ColState::AtUpper : ColState::AtLower;
+      updateBinv(r);
+      basic[r] = static_cast<std::int32_t>(enter);
+      xB[r] = x[enter];
+      ++dualIterations;
+
+      if ((dualIterations % 2000) == 0) {
+        if (!refactor()) return SolveStatus::Error;
+        computeXB();
+      }
+    }
+    return SolveStatus::NoSolution;
+  }
+
+  /// Full two-phase primal solve under the given structural bounds.
+  /// Leaves the worker hot (phase-2 costs, optimal basis) on success.
+  SolveStatus freshSolve(const std::vector<double>& lbOverride,
+                         const std::vector<double>& ubOverride) {
+    const std::size_t base = n() + m();
+    artRow.clear();
+    artSign.clear();
+    lb.resize(base);
+    ub.resize(base);
+    for (std::size_t j = 0; j < n(); ++j) {
+      lb[j] = lbOverride.empty() ? model->lowerBound(static_cast<Var>(j))
+                                 : lbOverride[j];
+      ub[j] = ubOverride.empty() ? model->upperBound(static_cast<Var>(j))
+                                 : ubOverride[j];
+      if (lb[j] > ub[j] + opts.feasTol) return SolveStatus::Infeasible;
+    }
+    for (std::size_t i = 0; i < m(); ++i) {
+      switch (A->sense[i]) {
+        case Sense::Le:
+          lb[n() + i] = 0.0;
+          ub[n() + i] = kInf;
+          break;
+        case Sense::Ge:
+          lb[n() + i] = -kInf;
+          ub[n() + i] = 0.0;
+          break;
+        case Sense::Eq:
+          lb[n() + i] = 0.0;
+          ub[n() + i] = 0.0;
+          break;
+      }
+    }
+
+    state.assign(base, ColState::AtLower);
+    x.assign(base, 0.0);
+    for (std::size_t j = 0; j < base; ++j) {
+      if (std::isfinite(lb[j])) {
+        state[j] = ColState::AtLower;
+      } else if (std::isfinite(ub[j])) {
+        state[j] = ColState::AtUpper;
+      } else {
+        state[j] = ColState::Free;
+      }
+      x[j] = boundValue(j);
+    }
+
+    // Residuals with every column nonbasic decide slack vs artificial.
+    std::vector<double> resid(m(), 0.0);
+    for (std::size_t i = 0; i < m(); ++i) resid[i] = A->rhs[i];
+    for (std::size_t j = 0; j < base; ++j) {
+      const double v = x[j];
+      if (v == 0.0) continue;
+      forEachEntry(j, [&](std::int32_t r, double a) { resid[r] -= a * v; });
+    }
+    basic.assign(m(), 0);
+    for (std::size_t i = 0; i < m(); ++i) {
+      const std::size_t sj = n() + i;
+      const double target = resid[i] + x[sj];
+      if (target >= lb[sj] - opts.feasTol &&
+          target <= ub[sj] + opts.feasTol) {
+        state[sj] = ColState::Basic;
+        x[sj] = target;
+        basic[i] = static_cast<std::int32_t>(sj);
+      } else {
+        const double snb = (target > ub[sj]) ? ub[sj] : lb[sj];
+        x[sj] = snb;
+        const double residual = target - snb;
+        artRow.push_back(static_cast<std::int32_t>(i));
+        artSign.push_back(residual >= 0 ? 1.0 : -1.0);
+        lb.push_back(0.0);
+        ub.push_back(kInf);
+        x.push_back(std::abs(residual));
+        state.push_back(ColState::Basic);
+        basic[i] = static_cast<std::int32_t>(numCols() - 1);
+      }
+    }
+
+    binv.assign(m() * m(), 0.0);
+    xB.assign(m(), 0.0);
+    y.assign(m(), 0.0);
+    w.assign(m(), 0.0);
+    colBuf.assign(m(), 0.0);
+    if (!refactor()) return SolveStatus::Error;
+    computeXB();
+
+    if (!artRow.empty()) {
+      cost.assign(numCols(), 0.0);
+      for (std::size_t a = 0; a < artRow.size(); ++a) cost[base + a] = 1.0;
+      bland = false;
+      degenerateRun = 0;
+      const SolveStatus st = iterate();
+      if (st != SolveStatus::Optimal) {
+        return st == SolveStatus::Unbounded ? SolveStatus::Error : st;
+      }
+      double artSum = 0.0;
+      for (std::size_t a = 0; a < artRow.size(); ++a) artSum += x[base + a];
+      if (artSum > 1e-6) return SolveStatus::Infeasible;
+      for (std::size_t a = 0; a < artRow.size(); ++a) {
+        lb[base + a] = 0.0;
+        ub[base + a] = 0.0;
+        if (state[base + a] != ColState::Basic) {
+          state[base + a] = ColState::AtLower;
+          x[base + a] = 0.0;
+        }
+      }
+    }
+
+    cost.assign(numCols(), 0.0);
+    for (const Term& t : model->objective().terms()) cost[t.var] += t.coef;
+    bland = false;
+    degenerateRun = 0;
+    return iterate();
+  }
+
+  void extract(SimplexResult& result) const {
+    result.x.assign(n(), 0.0);
+    for (std::size_t j = 0; j < n(); ++j) result.x[j] = x[j];
+    result.objective = model->objective().evaluate(result.x);
+  }
+};
+
+}  // namespace
+
+// --- SimplexSolver (stateless facade) ----------------------------------------
+
+struct SimplexSolver::Impl {
+  const Model& model;
+  SimplexOptions opts;
+  Csc csc;
+};
+
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions opts)
+    : impl_(new Impl{model, opts, Csc::build(model)}) {}
+SimplexSolver::~SimplexSolver() = default;
+SimplexSolver::SimplexSolver(SimplexSolver&&) noexcept = default;
+SimplexSolver& SimplexSolver::operator=(SimplexSolver&&) noexcept = default;
+
+SimplexResult SimplexSolver::solve() {
+  return solve(std::vector<double>(), std::vector<double>());
+}
+
+SimplexResult SimplexSolver::solve(const std::vector<double>& lb,
+                                   const std::vector<double>& ub) {
+  Worker wk;
+  wk.A = &impl_->csc;
+  wk.model = &impl_->model;
+  wk.opts = impl_->opts;
+  wk.setDeadline();
+  SimplexResult result;
+  result.status = wk.freshSolve(lb, ub);
+  result.iterations = wk.iterations;
+  if (result.status == SolveStatus::Optimal) wk.extract(result);
+  return result;
+}
+
+// --- IncrementalSimplex --------------------------------------------------------
+
+struct IncrementalSimplex::Impl {
+  const Model& model;
+  SimplexOptions opts;
+  Csc csc;
+  Worker wk;
+  bool hot = false;
+  std::int64_t coldSolves = 0;
+
+  explicit Impl(const Model& m, SimplexOptions o)
+      : model(m), opts(o), csc(Csc::build(m)) {
+    wk.A = &csc;
+    wk.model = &m;
+    wk.opts = o;
+  }
+};
+
+IncrementalSimplex::IncrementalSimplex(const Model& model, SimplexOptions opts)
+    : impl_(new Impl(model, opts)) {}
+IncrementalSimplex::~IncrementalSimplex() = default;
+
+void IncrementalSimplex::setTimeLimit(double seconds) {
+  impl_->opts.timeLimitSeconds = seconds;
+}
+
+std::int64_t IncrementalSimplex::dualPivots() const {
+  return impl_->wk.dualIterations;
+}
+std::int64_t IncrementalSimplex::coldSolves() const {
+  return impl_->coldSolves;
+}
+
+SimplexResult IncrementalSimplex::solve(const std::vector<double>& lb,
+                                        const std::vector<double>& ub) {
+  Worker& wk = impl_->wk;
+  wk.opts = impl_->opts;
+  wk.setDeadline();
+  SimplexResult result;
+
+  for (std::size_t j = 0; j < impl_->csc.n; ++j) {
+    if (lb[j] > ub[j] + impl_->opts.feasTol) {
+      result.status = SolveStatus::Infeasible;
+      return result;
+    }
+  }
+
+  if (impl_->hot) {
+    // Apply the new bounds; nonbasic columns stay on their side (this
+    // preserves dual feasibility), only their values shift.
+    bool seatable = true;
+    for (std::size_t j = 0; j < impl_->csc.n && seatable; ++j) {
+      wk.lb[j] = lb[j];
+      wk.ub[j] = ub[j];
+      if (wk.state[j] == ColState::AtLower && !std::isfinite(lb[j])) {
+        seatable = false;
+      }
+      if (wk.state[j] == ColState::AtUpper && !std::isfinite(ub[j])) {
+        seatable = false;
+      }
+    }
+    if (seatable) {
+      wk.computeXB();
+      const std::int64_t beforePrimal = wk.iterations;
+      const std::int64_t beforeDual = wk.dualIterations;
+      SolveStatus st = wk.dualRestore(50000);
+      if (st == SolveStatus::Optimal) {
+        // Dual feasibility was preserved, so this should already be
+        // optimal; a short primal cleanup guards tolerance drift.
+        st = wk.iterate();
+      }
+      result.iterations = (wk.iterations - beforePrimal) +
+                          (wk.dualIterations - beforeDual);
+      if (st == SolveStatus::Optimal || st == SolveStatus::Infeasible ||
+          st == SolveStatus::NoSolution) {
+        // The basis stays dual feasible in all three cases, so the worker
+        // remains hot for the next call.
+        result.status = st;
+        if (st == SolveStatus::Optimal) wk.extract(result);
+        return result;
+      }
+      // Error: fall through to the cold path.
+    }
+  }
+
+  ++impl_->coldSolves;
+  const std::int64_t before = wk.iterations;
+  result.status = wk.freshSolve(lb, ub);
+  result.iterations = wk.iterations - before;
+  impl_->hot = result.status == SolveStatus::Optimal;
+  if (result.status == SolveStatus::Optimal) wk.extract(result);
+  return result;
+}
+
+}  // namespace lamp::lp

@@ -1,0 +1,86 @@
+#ifndef LAMP_LP_SIMPLEX_H
+#define LAMP_LP_SIMPLEX_H
+
+/// \file simplex.h
+/// Bounded-variable primal simplex for the continuous relaxation of a
+/// Model. Two-phase (artificial variables), revised form with a dense
+/// basis inverse and sparse constraint columns; Dantzig pricing with a
+/// Bland anti-cycling fallback.
+///
+/// Scale target: the modulo-scheduling MILPs this repo builds (hundreds to
+/// a few thousand rows). Not a general-purpose LP code.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace lamp::lp {
+
+struct SimplexOptions {
+  double feasTol = 1e-7;   ///< bound/row feasibility tolerance
+  double optTol = 1e-7;    ///< reduced-cost optimality tolerance
+  std::int64_t maxIterations = 500000;
+  double timeLimitSeconds = kInf;
+};
+
+struct SimplexResult {
+  SolveStatus status = SolveStatus::Error;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values
+  std::int64_t iterations = 0;
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped). Variable
+/// bounds may be overridden per call, which is how branch & bound fixes
+/// branching decisions without copying the model.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, SimplexOptions opts = {});
+  ~SimplexSolver();
+  SimplexSolver(SimplexSolver&&) noexcept;
+  SimplexSolver& operator=(SimplexSolver&&) noexcept;
+
+  /// Solves with the model's own bounds.
+  SimplexResult solve();
+
+  /// Solves with overriding bounds (vectors sized numVars()).
+  SimplexResult solve(const std::vector<double>& lb,
+                      const std::vector<double>& ub);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Hot-restart solver for branch & bound. The first solve runs the full
+/// two-phase primal simplex; every later solve only *changes variable
+/// bounds*, which keeps the optimal basis dual-feasible, so primal
+/// feasibility is restored with a few dual simplex pivots instead of a
+/// from-scratch solve. Falls back to the full solve on numerical trouble.
+class IncrementalSimplex {
+ public:
+  explicit IncrementalSimplex(const Model& model, SimplexOptions opts = {});
+  ~IncrementalSimplex();
+
+  /// Solves under the given bounds, reusing the previous basis.
+  SimplexResult solve(const std::vector<double>& lb,
+                      const std::vector<double>& ub);
+
+  /// Adjusts the per-solve wall-clock limit (e.g. branch & bound passing
+  /// down its remaining budget).
+  void setTimeLimit(double seconds);
+
+  /// Statistics: dual pivots taken across all hot solves.
+  std::int64_t dualPivots() const;
+  std::int64_t coldSolves() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lamp::lp
+
+#endif  // LAMP_LP_SIMPLEX_H

@@ -1,0 +1,352 @@
+#include "map/area.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <set>
+
+#include "ir/passes.h"
+
+namespace lamp::map {
+
+using cut::Cut;
+using cut::CutDatabase;
+using cut::CutElement;
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+using sched::DelayModel;
+using sched::Schedule;
+
+namespace {
+
+bool isValueNode(const Node& n) {
+  return n.kind != OpKind::Output && n.kind != OpKind::Store &&
+         n.kind != OpKind::Const;
+}
+
+/// Cycle at which a node's value becomes available.
+int readyCycle(const Graph& g, const Schedule& s, const DelayModel& dm,
+               NodeId v) {
+  if (g.node(v).kind == OpKind::Input) return 0;
+  return s.cycle[v] + dm.latencyCycles(g, v, s.tcpNs);
+}
+
+/// ns offset within the ready cycle at which the value is stable.
+double readyNs(const Graph& g, const Schedule& s, const DelayModel& dm,
+               NodeId v) {
+  const Node& n = g.node(v);
+  if (n.kind == OpKind::Input || n.kind == OpKind::Const) return 0.0;
+  return s.startNs[v] + dm.remainderNs(g, v, s.tcpNs);
+}
+
+/// Which values must exist as physical nets (registered or port-visible).
+std::vector<bool> computeMaterialized(const Graph& g, const Schedule& s,
+                                      const DelayModel& dm) {
+  std::vector<bool> mat(g.size(), false);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Const) continue;
+    const bool portConsumer =
+        n.kind == OpKind::Output || ir::isBlackBox(n.kind);
+    for (const Edge& e : n.operands) {
+      const Node& u = g.node(e.src);
+      if (u.kind == OpKind::Const) continue;
+      if (u.kind == OpKind::Input) continue;  // inputs are ports already
+      const int useCycle = s.cycle[v] + static_cast<int>(e.dist) * s.ii;
+      if (portConsumer || useCycle > readyCycle(g, s, dm, e.src)) {
+        mat[e.src] = true;
+      }
+    }
+    if (ir::isBlackBox(n.kind) && n.width > 0) mat[v] = true;
+  }
+  return mat;
+}
+
+/// Stage-local netlist: a copy of the logic cone of one pipeline stage
+/// with boundary values turned into Input nodes.
+struct StageNetlist {
+  Graph graph{"stage"};
+  std::vector<NodeId> toOriginal;           // stage id -> original id
+  std::map<std::uint64_t, NodeId> boundary; // (orig,dist) -> stage input id
+  std::vector<NodeId> required;             // stage ids of required roots
+  std::vector<double> inputArrival;         // per stage node (inputs only)
+};
+
+std::uint64_t bkey(NodeId id, std::uint32_t dist) {
+  return (static_cast<std::uint64_t>(id) << 16) | dist;
+}
+
+/// Builds the netlist for stage `t`.
+StageNetlist buildStage(const Graph& g, const Schedule& s,
+                        const DelayModel& dm, const std::vector<bool>& mat,
+                        int t, const std::vector<NodeId>& targets) {
+  StageNetlist sn;
+  std::map<NodeId, NodeId> localOf;  // internal original -> stage id
+
+  // Recursive clone; returns the stage id producing (orig, dist)'s value.
+  auto clone = [&](auto&& self, NodeId orig, std::uint32_t dist) -> NodeId {
+    const Node& n = g.node(orig);
+    // A (value, dist) reference is a stage boundary when it is an input/
+    // black-box port, crosses a register (ready before this stage in the
+    // consumer's iteration frame), or arrives over a loop-carried edge.
+    const bool boundary =
+        n.kind == OpKind::Input || ir::isBlackBox(n.kind) ||
+        (mat[orig] &&
+         readyCycle(g, s, dm, orig) - static_cast<int>(dist) * s.ii < t) ||
+        dist > 0;
+    if (n.kind == OpKind::Const) {
+      // Clone constants per stage (cheap, keeps cuts well-formed).
+      const auto it = localOf.find(orig);
+      if (it != localOf.end()) return it->second;
+      Node c = n;
+      c.operands.clear();
+      const NodeId sid = sn.graph.add(std::move(c));
+      sn.toOriginal.push_back(orig);
+      sn.inputArrival.push_back(0.0);
+      localOf[orig] = sid;
+      return sid;
+    }
+    if (boundary) {
+      const auto key = bkey(orig, dist);
+      const auto it = sn.boundary.find(key);
+      if (it != sn.boundary.end()) return it->second;
+      Node in;
+      in.kind = OpKind::Input;
+      in.width = n.width;
+      in.name = "b" + std::to_string(orig) + "_" + std::to_string(dist);
+      const NodeId sid = sn.graph.add(std::move(in));
+      sn.toOriginal.push_back(orig);
+      // Same-clock combinational boundary (black box finishing this cycle,
+      // or a cross-stage chain): arrives at its schedule finish time.
+      const int avail =
+          readyCycle(g, s, dm, orig) - static_cast<int>(dist) * s.ii;
+      sn.inputArrival.push_back(avail == t ? readyNs(g, s, dm, orig) : 0.0);
+      sn.boundary[key] = sid;
+      return sid;
+    }
+    // Internal logic node of this stage.
+    const auto it = localOf.find(orig);
+    if (it != localOf.end()) return it->second;
+    Node copy = n;
+    copy.operands.clear();
+    for (const Edge& e : n.operands) {
+      const NodeId src = self(self, e.src, e.dist);
+      copy.operands.push_back(Edge{src, 0});
+    }
+    const NodeId sid = sn.graph.add(std::move(copy));
+    sn.toOriginal.push_back(orig);
+    sn.inputArrival.push_back(0.0);
+    localOf[orig] = sid;
+    return sid;
+  };
+
+  for (const NodeId v : targets) {
+    sn.required.push_back(clone(clone, v, 0));
+  }
+  return sn;
+}
+
+/// Area-flow cover of a stage netlist. Returns LUTs used and the stage's
+/// maximum arrival time; appends to `warning` on timing degradation.
+struct CoverResult {
+  int luts = 0;
+  double arrivalMax = 0.0;
+};
+
+CoverResult coverStage(const StageNetlist& sn, const DelayModel& dm,
+                       double tcpNs, const cut::CutEnumOptions& cutOpts,
+                       std::string& warning) {
+  CoverResult res;
+  const Graph& g = sn.graph;
+  const CutDatabase db = cut::enumerateCuts(g, cutOpts);
+  const auto order = ir::topologicalOrder(g);
+  const auto& fanouts = g.fanouts();
+
+  // Optimal arrival labels (FlowMap-style) and area flow.
+  std::vector<double> label(g.size(), 0.0), aflow(g.size(), 0.0);
+  std::vector<int> bestDelayCut(g.size(), -1);
+  for (const NodeId v : order) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Input) {
+      label[v] = sn.inputArrival[v];
+      continue;
+    }
+    if (n.kind == OpKind::Const) continue;
+    const double dRoot = dm.rootDelay(g, v);
+    double bestLab = 1e30, bestAf = 1e30;
+    for (std::size_t i = 0; i < db.at(v).cuts.size(); ++i) {
+      const Cut& c = db.at(v).cuts[i];
+      double arr = 0.0, af = c.lutCost;
+      for (const CutElement& e : c.elements) {
+        arr = std::max(arr, label[e.node]);
+        const double share =
+            std::max<std::size_t>(1, fanouts[e.node].size());
+        af += aflow[e.node] / static_cast<double>(share);
+      }
+      const double myDelay =
+          c.kind == cut::CutKind::Lut
+              ? (c.lutCost > 0 ? dm.lutDelayNs : 0.0)
+              : dRoot;
+      if (arr + myDelay < bestLab - 1e-12) {
+        bestLab = arr + myDelay;
+        bestDelayCut[v] = static_cast<int>(i);
+      }
+      bestAf = std::min(bestAf, af);
+    }
+    label[v] = bestLab;
+    aflow[v] = bestAf;
+  }
+
+  // Extraction: required roots pick the cheapest cut meeting their
+  // required time (Tcp, or the optimal label when even that exceeds Tcp).
+  std::vector<bool> chosen(g.size(), false);
+  std::vector<double> arrival(g.size(), 0.0);
+  std::vector<NodeId> work = sn.required;
+  std::vector<int> pickOf(g.size(), -1);
+  while (!work.empty()) {
+    const NodeId v = work.back();
+    work.pop_back();
+    if (chosen[v]) continue;
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Input || n.kind == OpKind::Const) continue;
+    chosen[v] = true;
+    const double requiredNs = std::max(tcpNs, label[v] + 1e-9);
+    double bestScore = 1e30;
+    int best = -1;
+    for (std::size_t i = 0; i < db.at(v).cuts.size(); ++i) {
+      const Cut& c = db.at(v).cuts[i];
+      double arr = 0.0, score = c.lutCost;
+      for (const CutElement& e : c.elements) {
+        arr = std::max(arr, label[e.node]);
+        if (!chosen[e.node]) score += aflow[e.node];
+      }
+      const double myDelay = c.kind == cut::CutKind::Lut
+                                 ? (c.lutCost > 0 ? dm.lutDelayNs : 0.0)
+                                 : dm.rootDelay(g, v);
+      if (arr + myDelay > requiredNs) continue;
+      if (score < bestScore - 1e-12) {
+        bestScore = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) best = bestDelayCut[v];
+    if (best < 0) {
+      warning += "uncoverable node in stage; ";
+      continue;
+    }
+    pickOf[v] = best;
+    for (const CutElement& e : db.at(v).cuts[best].elements) {
+      if (!chosen[e.node]) work.push_back(e.node);
+    }
+  }
+
+  // Cost + exact arrival of the chosen cover, in topological order.
+  for (const NodeId v : order) {
+    if (pickOf[v] < 0) {
+      if (g.node(v).kind == OpKind::Input) arrival[v] = sn.inputArrival[v];
+      continue;
+    }
+    const Cut& c = db.at(v).cuts[pickOf[v]];
+    res.luts += c.lutCost;
+    double arr = 0.0;
+    for (const CutElement& e : c.elements) arr = std::max(arr, arrival[e.node]);
+    const double myDelay = c.kind == cut::CutKind::Lut
+                               ? (c.lutCost > 0 ? dm.lutDelayNs : 0.0)
+                               : dm.rootDelay(g, v);
+    arrival[v] = arr + myDelay;
+    res.arrivalMax = std::max(res.arrivalMax, arrival[v]);
+  }
+  return res;
+}
+
+}  // namespace
+
+int countRegisterBits(const Graph& g, const Schedule& s,
+                      const DelayModel& dm) {
+  int bits = 0;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    // Held inputs cost registers too, so Input nodes are included here.
+    const Node& n = g.node(u);
+    if (!isValueNode(n) || n.width == 0) continue;
+    int lastUse = readyCycle(g, s, dm, u);
+    for (const auto& f : g.fanouts()[u]) {
+      const Edge& e = g.node(f.dst).operands[f.operandIndex];
+      if (g.node(f.dst).kind == OpKind::Const) continue;
+      lastUse = std::max(lastUse,
+                         s.cycle[f.dst] + static_cast<int>(e.dist) * s.ii);
+    }
+    bits += n.width * (lastUse - readyCycle(g, s, dm, u));
+  }
+  return bits;
+}
+
+AreaReport evaluate(const Graph& g, const Schedule& s, const DelayModel& dm,
+                    const AreaOptions& opts) {
+  AreaReport rep;
+  rep.latency = s.latency(g);
+  rep.stages = rep.latency + 1;
+  rep.ffs = countRegisterBits(g, s, dm);
+
+  const std::vector<bool> mat = computeMaterialized(g, s, dm);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (mat[v]) ++rep.materializedValues;
+  }
+
+  rep.lutsPerStage.assign(rep.stages, 0);
+  for (int t = 0; t < rep.stages; ++t) {
+    std::vector<NodeId> targets;
+    for (NodeId v = 0; v < g.size(); ++v) {
+      const Node& n = g.node(v);
+      if (!mat[v] || !ir::isLutMappable(n.kind)) continue;
+      if (readyCycle(g, s, dm, v) == t) targets.push_back(v);
+    }
+    double stageArr = 0.0;
+    if (!targets.empty()) {
+      const StageNetlist sn = buildStage(g, s, dm, mat, t, targets);
+      const CoverResult cr =
+          coverStage(sn, dm, s.tcpNs, opts.cuts, rep.warning);
+      rep.lutsPerStage[t] = cr.luts;
+      rep.luts += cr.luts;
+      stageArr = cr.arrivalMax;
+    }
+    // Black boxes finishing in this cycle extend the stage's critical path.
+    for (NodeId v = 0; v < g.size(); ++v) {
+      const Node& n = g.node(v);
+      if (!ir::isBlackBox(n.kind) || s.cycle[v] == sched::kUnscheduled) {
+        continue;
+      }
+      if (readyCycle(g, s, dm, v) == t) {
+        stageArr = std::max(stageArr, readyNs(g, s, dm, v));
+      }
+    }
+    rep.cpPerStage.push_back(stageArr);
+    rep.cpNs = std::max(rep.cpNs, stageArr);
+  }
+  return rep;
+}
+
+std::string timingSummary(const AreaReport& rep, double tcpNs) {
+  std::ostringstream os;
+  os << "Timing summary (target " << tcpNs << " ns, achieved " << rep.cpNs
+     << " ns, " << rep.stages << " stage(s), " << rep.luts << " LUTs, "
+     << rep.ffs << " FFs)\n";
+  for (int t = 0; t < rep.stages; ++t) {
+    const double cp =
+        t < static_cast<int>(rep.cpPerStage.size()) ? rep.cpPerStage[t] : 0.0;
+    const double slack = tcpNs - cp;
+    os << "  stage " << t << ": "
+       << (t < static_cast<int>(rep.lutsPerStage.size())
+               ? rep.lutsPerStage[t]
+               : 0)
+       << " LUTs, cp " << cp << " ns, slack " << slack << " ns"
+       << (slack < 0 ? "  (VIOLATED)" : "") << "\n";
+  }
+  if (!rep.warning.empty()) os << "  warning: " << rep.warning << "\n";
+  return os.str();
+}
+
+}  // namespace lamp::map

@@ -1,0 +1,65 @@
+#ifndef LAMP_MAP_AREA_H
+#define LAMP_MAP_AREA_H
+
+/// \file area.h
+/// Downstream implementation evaluator — the stand-in for Vivado's
+/// synthesis + P&R in the paper's experiments. Given a validated modulo
+/// schedule, it:
+///
+///  1. decides which values materialize (registered stage outputs):
+///     anything consumed in a later absolute cycle, consumed by a
+///     black-box port / primary output, or produced by a black box;
+///  2. counts flip-flops exactly from value lifetimes (bits x cycles),
+///     which is independent of LUT mapping;
+///  3. re-maps each pipeline stage's logic with a timing-constrained,
+///     area-oriented cut cover (area-flow selection over stage-local cut
+///     enumeration) honoring the register boundaries the schedule chose —
+///     exactly the freedom downstream tools have: they may repack logic
+///     within a stage but can never move a register;
+///  4. reports the achieved critical path over all stages.
+///
+/// Because the same evaluator runs on every flow's schedule (HLS-tool,
+/// MILP-base, MILP-map), relative CP/LUT/FF comparisons are meaningful.
+
+#include <string>
+#include <vector>
+
+#include "cut/cut.h"
+#include "ir/graph.h"
+#include "sched/schedule.h"
+
+namespace lamp::map {
+
+struct AreaOptions {
+  cut::CutEnumOptions cuts;  ///< stage-local enumeration parameters
+};
+
+struct AreaReport {
+  int luts = 0;      ///< total LUTs after per-stage remapping
+  int ffs = 0;       ///< pipeline register bits
+  double cpNs = 0.0; ///< achieved critical path
+  int latency = 0;   ///< pipeline depth in cycles
+  int stages = 0;    ///< latency + 1
+  int materializedValues = 0;
+  /// Per-stage LUT counts and critical paths (diagnostics).
+  std::vector<int> lutsPerStage;
+  std::vector<double> cpPerStage;
+  std::string warning;  ///< non-empty if the mapper had to degrade
+};
+
+/// Evaluates a schedule. The schedule must have passed validateSchedule.
+AreaReport evaluate(const ir::Graph& g, const sched::Schedule& s,
+                    const sched::DelayModel& dm, const AreaOptions& opts = {});
+
+/// Register bits implied by the schedule's lifetimes alone (the FF part of
+/// evaluate(), exposed for tests and the MILP cross-check).
+int countRegisterBits(const ir::Graph& g, const sched::Schedule& s,
+                      const sched::DelayModel& dm);
+
+/// Vivado-timing-summary-style text: one line per pipeline stage with
+/// LUTs, critical path and slack against the clock target.
+std::string timingSummary(const AreaReport& rep, double tcpNs);
+
+}  // namespace lamp::map
+
+#endif  // LAMP_MAP_AREA_H

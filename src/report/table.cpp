@@ -1,0 +1,88 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lamp::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addRule() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      os << (c + 1 < header_.size() ? "+" : "");
+    }
+    os << "\n";
+  };
+  const auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+      os << (c + 1 < row.size() ? "|" : "");
+    }
+    os << "\n";
+  };
+  printRow(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      printRow(row);
+    }
+  }
+}
+
+void Table::printCsv(std::ostream& os) const {
+  const auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      std::erase(cell, ',');
+      os << cell << (c + 1 < row.size() ? "," : "");
+    }
+    os << "\n";
+  };
+  printRow(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) printRow(row);
+  }
+}
+
+std::string pctDelta(double value, double baseline) {
+  if (baseline == 0.0) {
+    return value == 0.0 ? "(+0.0%)" : "(  -  )";
+  }
+  const double pct = (value - baseline) / baseline * 100.0;
+  std::ostringstream os;
+  os << '(' << (pct >= 0 ? "+" : "") << fixed(pct, 1) << "%)";
+  return os.str();
+}
+
+std::string fixed(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+}  // namespace lamp::report

@@ -1,0 +1,43 @@
+#ifndef LAMP_REPORT_TABLE_H
+#define LAMP_REPORT_TABLE_H
+
+/// \file table.h
+/// Fixed-width text tables and CSV output for the paper-style reports
+/// printed by the bench binaries (Table 1, Table 2, figures).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lamp::report {
+
+/// A simple column-aligned table with an optional header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+  /// Adds a horizontal separator at the current position.
+  void addRule();
+
+  void print(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Formats "(+12.6%)" / "(-42.1%)" relative to a baseline; "(  -  )" when
+/// the baseline is zero.
+std::string pctDelta(double value, double baseline);
+
+/// Fixed-precision double ("5.43").
+std::string fixed(double v, int digits = 2);
+
+}  // namespace lamp::report
+
+#endif  // LAMP_REPORT_TABLE_H

@@ -1,0 +1,281 @@
+#include "rtl/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "ir/passes.h"
+
+namespace lamp::rtl {
+
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+using sched::DelayModel;
+using sched::Schedule;
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "m_" + out;
+  }
+  return out;
+}
+
+/// Emission context: per-node ready cycle and register-chain depth.
+struct Emitter {
+  const Graph& g;
+  const Schedule& s;
+  const DelayModel& dm;
+  const VerilogOptions& opts;
+  std::ostream& os;
+  std::vector<int> ready;      // cycle a node's value appears
+  std::vector<int> chainLen;   // register stages carried behind each value
+
+  int readyCycle(NodeId v) const { return ready[v]; }
+
+  /// Signal carrying node u's value as read by a consumer scheduled at
+  /// `useCycle` in the producer's iteration frame.
+  std::string ref(NodeId u, int useCycle) const {
+    const Node& n = g.node(u);
+    if (n.kind == OpKind::Const) {
+      std::ostringstream c;
+      c << n.width << "'d" << n.constValue;
+      return c.str();
+    }
+    const int delay = useCycle - ready[u];
+    if (delay <= 0) return signalName(g, u);
+    return signalName(g, u) + "_d" + std::to_string(delay);
+  }
+
+  std::string opnd(NodeId v, std::size_t i) const {
+    const Edge& e = g.node(v).operands[i];
+    return ref(e.src, s.cycle[v] + static_cast<int>(e.dist) * s.ii);
+  }
+
+  std::string expr(NodeId v) const {
+    const Node& n = g.node(v);
+    std::ostringstream e;
+    switch (n.kind) {
+      case OpKind::And: e << opnd(v, 0) << " & " << opnd(v, 1); break;
+      case OpKind::Or: e << opnd(v, 0) << " | " << opnd(v, 1); break;
+      case OpKind::Xor: e << opnd(v, 0) << " ^ " << opnd(v, 1); break;
+      case OpKind::Not: e << "~" << opnd(v, 0); break;
+      case OpKind::Shl: e << opnd(v, 0) << " << " << n.attr0; break;
+      case OpKind::Shr: e << opnd(v, 0) << " >> " << n.attr0; break;
+      case OpKind::AShr:
+        e << "$signed(" << opnd(v, 0) << ") >>> " << n.attr0;
+        break;
+      case OpKind::Slice:
+        e << opnd(v, 0) << "[" << (n.attr0 + n.width - 1) << ":" << n.attr0
+          << "]";
+        break;
+      case OpKind::Concat:
+        e << "{" << opnd(v, 0) << ", " << opnd(v, 1) << "}";
+        break;
+      case OpKind::ZExt:
+        e << "{{" << (n.width - g.node(n.operands[0].src).width) << "{1'b0}}, "
+          << opnd(v, 0) << "}";
+        break;
+      case OpKind::SExt: {
+        const int sw = g.node(n.operands[0].src).width;
+        e << "{{" << (n.width - sw) << "{" << opnd(v, 0) << "[" << (sw - 1)
+          << "]}}, " << opnd(v, 0) << "}";
+        break;
+      }
+      case OpKind::Add: e << opnd(v, 0) << " + " << opnd(v, 1); break;
+      case OpKind::Sub: e << opnd(v, 0) << " - " << opnd(v, 1); break;
+      case OpKind::Eq: e << opnd(v, 0) << " == " << opnd(v, 1); break;
+      case OpKind::Ne: e << opnd(v, 0) << " != " << opnd(v, 1); break;
+      case OpKind::Lt:
+      case OpKind::Le:
+      case OpKind::Gt:
+      case OpKind::Ge: {
+        const char* rel = n.kind == OpKind::Lt   ? " < "
+                          : n.kind == OpKind::Le ? " <= "
+                          : n.kind == OpKind::Gt ? " > "
+                                                 : " >= ";
+        if (n.isSigned) {
+          e << "$signed(" << opnd(v, 0) << ")" << rel << "$signed("
+            << opnd(v, 1) << ")";
+        } else {
+          e << opnd(v, 0) << rel << opnd(v, 1);
+        }
+        break;
+      }
+      case OpKind::Mux:
+        e << opnd(v, 0) << " ? " << opnd(v, 1) << " : " << opnd(v, 2);
+        break;
+      case OpKind::Mul: e << opnd(v, 0) << " * " << opnd(v, 1); break;
+      default: e << "/* unsupported */ 0"; break;
+    }
+    return e.str();
+  }
+};
+
+std::string range(int width) {
+  return "[" + std::to_string(width - 1) + ":0] ";
+}
+
+}  // namespace
+
+std::string signalName(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  std::string base = "n" + std::to_string(id);
+  if (!n.name.empty()) base += "_" + sanitize(n.name);
+  return base;
+}
+
+void emitVerilog(std::ostream& os, const Graph& g, const Schedule& s,
+                 const DelayModel& dm, const VerilogOptions& opts) {
+  Emitter em{g, s, dm, opts, os, {}, {}};
+  em.ready.assign(g.size(), 0);
+  em.chainLen.assign(g.size(), 0);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Const) continue;
+    em.ready[v] = (n.kind == OpKind::Input ? 0 : s.cycle[v]) +
+                  dm.latencyCycles(g, v, s.tcpNs);
+  }
+  // Register chains: longest use delay per producer.
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Const) continue;
+    for (const Edge& e : n.operands) {
+      if (g.node(e.src).kind == OpKind::Const) continue;
+      const int use = s.cycle[v] + static_cast<int>(e.dist) * s.ii;
+      em.chainLen[e.src] =
+          std::max(em.chainLen[e.src], use - em.ready[e.src]);
+    }
+  }
+
+  const int latency = s.latency(g);
+  const std::string name =
+      opts.moduleName.empty() ? sanitize(g.name()) : opts.moduleName;
+
+  // --- header ---------------------------------------------------------------
+  os << "// Generated by lamp (mapping-aware modulo scheduling).\n"
+     << "// II = " << s.ii << ", Tcp = " << s.tcpNs
+     << " ns, pipeline latency = " << latency << " cycles.\n"
+     << "module " << name << " (\n  input wire clk,\n  input wire rst";
+  if (opts.emitValidChain) os << ",\n  input wire valid_in";
+  for (const NodeId in : g.inputs()) {
+    os << ",\n  input wire " << range(g.node(in).width) << signalName(g, in);
+  }
+  if (opts.emitValidChain) os << ",\n  output wire valid_out";
+  for (const NodeId out : g.outputs()) {
+    os << ",\n  output wire " << range(g.node(out).width)
+       << signalName(g, out);
+  }
+  os << "\n);\n\n";
+
+  // --- valid chain ------------------------------------------------------------
+  if (opts.emitValidChain) {
+    if (latency == 0) {
+      os << "  assign valid_out = valid_in;\n\n";
+    } else {
+      os << "  reg [" << (latency - 1) << ":0] valid_sr;\n"
+         << "  always @(posedge clk) begin\n"
+         << "    if (rst) valid_sr <= 0;\n"
+         << "    else valid_sr <= {valid_sr, valid_in};\n"
+         << "  end\n"
+         << "  assign valid_out = valid_sr[" << (latency - 1) << "];\n\n";
+    }
+  }
+
+  // --- memories ----------------------------------------------------------------
+  std::set<int> memClasses;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Load || n.kind == OpKind::Store) {
+      memClasses.insert(n.attr0);
+    }
+  }
+  for (const int rc : memClasses) {
+    os << "  reg [63:0] mem_rc" << rc << " [0:" << (opts.memoryDepth - 1)
+       << "];\n";
+  }
+  if (!memClasses.empty()) os << "\n";
+
+  // --- combinational logic + pipeline registers --------------------------------
+  for (const NodeId v : ir::topologicalOrder(g)) {
+    const Node& n = g.node(v);
+    switch (n.kind) {
+      case OpKind::Const:
+      case OpKind::Input:
+        break;
+      case OpKind::Output:
+        os << "  assign " << signalName(g, v) << " = " << em.opnd(v, 0)
+           << ";\n";
+        break;
+      case OpKind::Store:
+        os << "  always @(posedge clk) begin\n"
+           << "    if (!rst) mem_rc" << n.attr0 << "[" << em.opnd(v, 0)
+           << "] <= " << em.opnd(v, 1) << ";\n  end\n";
+        break;
+      case OpKind::Load: {
+        // Synchronous read when the op carries a full-cycle latency,
+        // combinational ROM read otherwise.
+        const int lat = dm.latencyCycles(g, v, s.tcpNs);
+        if (lat > 0) {
+          os << "  reg " << range(n.width) << signalName(g, v) << ";\n"
+             << "  always @(posedge clk) " << signalName(g, v) << " <= mem_rc"
+             << n.attr0 << "[" << em.opnd(v, 0) << "];\n";
+        } else {
+          os << "  wire " << range(n.width) << signalName(g, v) << " = mem_rc"
+             << n.attr0 << "[" << em.opnd(v, 0) << "];\n";
+        }
+        break;
+      }
+      case OpKind::Mul: {
+        const int lat = dm.latencyCycles(g, v, s.tcpNs);
+        if (lat > 0) {
+          os << "  reg " << range(n.width) << signalName(g, v)
+             << ";  // DSP, " << lat << " register stage(s)\n";
+          std::string prev = em.expr(v);
+          for (int k = 1; k < lat; ++k) {
+            os << "  reg " << range(n.width) << signalName(g, v) << "_p" << k
+               << ";\n  always @(posedge clk) " << signalName(g, v) << "_p"
+               << k << " <= " << prev << ";\n";
+            prev = signalName(g, v) + "_p" + std::to_string(k);
+          }
+          os << "  always @(posedge clk) " << signalName(g, v)
+             << " <= " << prev << ";\n";
+        } else {
+          os << "  wire " << range(n.width) << signalName(g, v) << " = "
+             << em.expr(v) << ";\n";
+        }
+        break;
+      }
+      default:
+        os << "  wire " << range(n.width) << signalName(g, v) << " = "
+           << em.expr(v) << ";\n";
+        break;
+    }
+    // Shift-register chain for values consumed in later cycles.
+    if (n.width > 0 && n.kind != OpKind::Output && n.kind != OpKind::Store) {
+      for (int k = 1; k <= em.chainLen[v]; ++k) {
+        os << "  reg " << range(n.width) << signalName(g, v) << "_d" << k
+           << ";\n  always @(posedge clk) " << signalName(g, v) << "_d" << k
+           << " <= "
+           << (k == 1 ? signalName(g, v)
+                      : signalName(g, v) + "_d" + std::to_string(k - 1))
+           << ";\n";
+      }
+    }
+  }
+
+  os << "\nendmodule\n";
+}
+
+}  // namespace lamp::rtl

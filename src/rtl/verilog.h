@@ -1,0 +1,36 @@
+#ifndef LAMP_RTL_VERILOG_H
+#define LAMP_RTL_VERILOG_H
+
+/// \file verilog.h
+/// Verilog-2001 emission of a scheduled pipeline — the artifact the
+/// paper's flow hands to Vivado. The module streams one iteration per II
+/// clocks: combinational logic per pipeline stage, shift-register chains
+/// for values that live across cycles (including loop-carried state), a
+/// valid chain, and simple synchronous memories for Load/Store classes.
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace lamp::rtl {
+
+struct VerilogOptions {
+  std::string moduleName;      ///< default: graph name, sanitized
+  bool emitValidChain = true;  ///< valid_in -> valid_out pipeline
+  int memoryDepth = 1024;      ///< words per Load/Store resource class
+};
+
+/// Emits the scheduled design. The schedule must have passed
+/// validateSchedule; node start times within a cycle do not affect the
+/// netlist (combinational chaining is implicit in the wiring).
+void emitVerilog(std::ostream& os, const ir::Graph& g,
+                 const sched::Schedule& s, const sched::DelayModel& dm,
+                 const VerilogOptions& opts = {});
+
+/// Identifier-safe name for a node ("n12_acc").
+std::string signalName(const ir::Graph& g, ir::NodeId id);
+
+}  // namespace lamp::rtl
+
+#endif  // LAMP_RTL_VERILOG_H

@@ -1,0 +1,76 @@
+#include "sched/delay_model.h"
+
+#include <cmath>
+
+namespace lamp::sched {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpClass;
+using ir::OpKind;
+
+namespace {
+
+/// Effective carry-chain width: result width for add/sub, operand width
+/// for comparisons.
+int carryWidth(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (n.kind == OpKind::Add || n.kind == OpKind::Sub) return n.width;
+  return g.node(n.operands[0].src).width;
+}
+
+}  // namespace
+
+double DelayModel::additiveDelay(const Graph& g, NodeId id) const {
+  const Node& n = g.node(id);
+  switch (ir::opClass(n.kind)) {
+    case OpClass::Io:
+      return 0.0;
+    case OpClass::Shift:
+      return shiftAdditiveNs;
+    case OpClass::Bitwise:
+      return bitwiseAdditiveNs;
+    case OpClass::Mux:
+      return muxAdditiveNs;
+    case OpClass::Arith:
+      return carryDelay(carryWidth(g, id));
+    case OpClass::BlackBox:
+      switch (n.kind) {
+        case OpKind::Mul: return dspMulNs;
+        case OpKind::Load: return memReadNs;
+        case OpKind::Store: return memWriteNs;
+        default: return lutDelayNs;
+      }
+  }
+  return lutDelayNs;
+}
+
+double DelayModel::rootDelay(const Graph& g, NodeId id) const {
+  const Node& n = g.node(id);
+  switch (ir::opClass(n.kind)) {
+    case OpClass::Io:
+    case OpClass::Shift:
+      return 0.0;
+    case OpClass::Bitwise:
+    case OpClass::Mux:
+      return lutDelayNs;
+    case OpClass::Arith:
+      return carryDelay(carryWidth(g, id));
+    case OpClass::BlackBox:
+      return additiveDelay(g, id);
+  }
+  return lutDelayNs;
+}
+
+int DelayModel::latencyCycles(const Graph& g, NodeId id, double tcpNs) const {
+  const double d = rootDelay(g, id);
+  if (d < tcpNs) return 0;
+  return static_cast<int>(std::floor(d / tcpNs));
+}
+
+double DelayModel::remainderNs(const Graph& g, NodeId id, double tcpNs) const {
+  return rootDelay(g, id) - latencyCycles(g, id, tcpNs) * tcpNs;
+}
+
+}  // namespace lamp::sched

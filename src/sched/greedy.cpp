@@ -1,0 +1,244 @@
+#include "sched/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/passes.h"
+
+namespace lamp::sched {
+
+using cut::Cut;
+using cut::CutElement;
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+
+namespace {
+
+bool schedulable(const Node& n) { return n.kind != OpKind::Const; }
+
+}  // namespace
+
+SdcResult greedyMapSchedule(const Graph& g, const cut::CutDatabase& db,
+                            const DelayModel& dm, const SdcOptions& opts) {
+  SdcResult result;
+  Schedule& s = result.schedule;
+  s.ii = opts.ii;
+  s.tcpNs = opts.tcpNs;
+  s.cycle.assign(g.size(), kUnscheduled);
+  s.startNs.assign(g.size(), 0.0);
+  s.selectedCut.assign(g.size(), kAbsorbed);
+
+  const Windows win =
+      computeWindows(g, dm, opts.ii, opts.tcpNs, opts.maxLatency);
+  if (!win.feasible) {
+    result.error = "recurrence infeasible at II=" + std::to_string(opts.ii);
+    return result;
+  }
+
+  const auto order = ir::topologicalOrder(g);
+  const auto& fanouts = g.fanouts();
+
+  // --- phase 1: area-flow over all nodes, two passes so that back-edge
+  // boundary elements (defined later in topological order) see a
+  // reasonable estimate on the second pass.
+  std::vector<double> af(g.size(), 0.0);
+  std::vector<int> bestCut(g.size(), kAbsorbed);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const NodeId v : order) {
+      const Node& n = g.node(v);
+      if (!schedulable(n) || db.at(v).cuts.empty()) continue;
+      double best = 1e30;
+      int bestIdx = 0;
+      for (std::size_t i = 0; i < db.at(v).cuts.size(); ++i) {
+        const Cut& c = db.at(v).cuts[i];
+        double score = c.lutCost;
+        for (const CutElement& e : c.elements) {
+          const double share =
+              std::max<std::size_t>(1, fanouts[e.node].size());
+          score += af[e.node] / static_cast<double>(share);
+        }
+        if (score < best - 1e-12) {
+          best = score;
+          bestIdx = static_cast<int>(i);
+        }
+      }
+      af[v] = best;
+      bestCut[v] = bestIdx;
+    }
+  }
+
+  // --- phase 2: cover extraction from the sinks.
+  std::vector<bool> isRoot(g.size(), false);
+  std::vector<NodeId> work;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const OpKind k = g.node(v).kind;
+    if (k == OpKind::Output || k == OpKind::Store) {
+      isRoot[v] = true;
+      work.push_back(v);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId v = work.back();
+    work.pop_back();
+    if (db.at(v).cuts.empty()) continue;  // Input reached
+    s.selectedCut[v] = bestCut[v] >= 0 ? bestCut[v] : 0;
+    const Cut& c = db.at(v).cuts[s.selectedCut[v]];
+    for (const CutElement& e : c.elements) {
+      if (!isRoot[e.node] && schedulable(g.node(e.node))) {
+        isRoot[e.node] = true;
+        work.push_back(e.node);
+      }
+    }
+  }
+
+  // --- phase 3: list scheduling over roots (and a dependence-safe
+  // placement for dead/absorbed nodes). Roots chain by their mapped
+  // delays; everything else inherits placement from its cone roots.
+  // Iterated to a fixed point so same-clock chains through loop-carried
+  // boundaries settle (see sdcSchedule for the convergence argument).
+  constexpr int kMaxPasses = 12;
+  bool converged = false;
+  for (int pass = 0; pass < kMaxPasses && !converged; ++pass) {
+    converged = pass > 0;
+    std::map<ir::ResourceClass, std::vector<int>> mrt;
+    for (const auto& [rc, limit] : opts.resources) {
+      (void)limit;
+      mrt[rc].assign(opts.ii, 0);
+    }
+
+    for (const NodeId v : order) {
+      const Node& n = g.node(v);
+      if (!schedulable(n)) continue;
+      if (n.kind == OpKind::Input) {
+        s.cycle[v] = 0;
+        s.startNs[v] = 0.0;
+        continue;
+      }
+      if (!isRoot[v] || s.selectedCut[v] < 0) continue;  // placed later
+
+      int cyc = 0;
+      double start = 0.0;
+      const Cut& c = db.at(v).cuts[s.selectedCut[v]];
+      for (const CutElement& e : c.elements) {
+        const Node& u = g.node(e.node);
+        if (u.kind == OpKind::Const) continue;
+        if (s.cycle[e.node] == kUnscheduled) continue;  // first pass only
+        const int ready = s.cycle[e.node] +
+                          dm.latencyCycles(g, e.node, opts.tcpNs) -
+                          static_cast<int>(e.dist) * opts.ii;
+        const double readyNs =
+            s.startNs[e.node] + dm.remainderNs(g, e.node, opts.tcpNs);
+        if (ready > cyc) {
+          cyc = ready;
+          start = readyNs;
+        } else if (ready == cyc) {
+          start = std::max(start, readyNs);
+        }
+      }
+      if (cyc < 0) {
+        cyc = 0;
+        start = 0.0;
+      }
+      const int lat = dm.latencyCycles(g, v, opts.tcpNs);
+      const double rem = dm.remainderNs(g, v, opts.tcpNs);
+      if (start + (lat > 0 ? 0.0 : rem) > opts.tcpNs + 1e-9 ||
+          (lat > 0 && start > 1e-9)) {
+        ++cyc;
+        start = 0.0;
+      }
+      if (ir::isBlackBox(n.kind)) {
+        const auto it = opts.resources.find(n.resourceClass());
+        if (it != opts.resources.end()) {
+          auto& slots = mrt[n.resourceClass()];
+          int tries = 0;
+          while (slots[cyc % opts.ii] >= it->second) {
+            ++cyc;
+            start = 0.0;
+            if (++tries > opts.ii + opts.maxLatency) {
+              result.error = "resource infeasible at II=" +
+                             std::to_string(opts.ii);
+              return result;
+            }
+          }
+          ++slots[cyc % opts.ii];
+        }
+      }
+      if (cyc > opts.maxLatency) {
+        result.error = "latency bound exceeded";
+        return result;
+      }
+      if (cyc != s.cycle[v] || std::abs(start - s.startNs[v]) > 1e-9) {
+        converged = false;
+      }
+      s.cycle[v] = cyc;
+      s.startNs[v] = start;
+    }
+  }
+  if (!converged) {
+    result.error = "recurrence chaining did not converge at II=" +
+                   std::to_string(opts.ii);
+    return result;
+  }
+
+  // Absorbed / dead nodes: place at the earliest cycle their containing
+  // root(s) allow, or dependence-ASAP for dead logic.
+  std::vector<int> minRootCycle(g.size(), std::numeric_limits<int>::max());
+  std::vector<double> rootStart(g.size(), 0.0);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (s.selectedCut[v] < 0 || db.at(v).cuts.empty()) continue;
+    const Cut& c = db.at(v).cuts[s.selectedCut[v]];
+    for (const NodeId cn : c.coneNodes) {
+      if (cn != v && s.cycle[v] != kUnscheduled &&
+          s.cycle[v] < minRootCycle[cn]) {
+        minRootCycle[cn] = s.cycle[v];
+        rootStart[cn] = s.startNs[v];
+      }
+    }
+  }
+  for (const NodeId v : order) {
+    const Node& n = g.node(v);
+    if (!schedulable(n) || s.cycle[v] != kUnscheduled) continue;
+    if (minRootCycle[v] != std::numeric_limits<int>::max()) {
+      s.cycle[v] = minRootCycle[v];
+      s.startNs[v] = rootStart[v];
+      continue;
+    }
+    // Dead logic: dependence-safe ASAP.
+    int cyc = 0;
+    for (const Edge& e : n.operands) {
+      if (!schedulable(g.node(e.src)) || s.cycle[e.src] == kUnscheduled) {
+        continue;
+      }
+      cyc = std::max(cyc, s.cycle[e.src] +
+                              dm.latencyCycles(g, e.src, opts.tcpNs) -
+                              static_cast<int>(e.dist) * opts.ii);
+    }
+    s.cycle[v] = std::min(cyc, opts.maxLatency);
+    s.startNs[v] = 0.0;
+  }
+
+  // Loop-carried upper bounds over everything (greedy ASAP is earliest
+  // possible for this cover, so a violation means failure at this II).
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (!schedulable(n)) continue;
+    for (const Edge& e : n.operands) {
+      if (!schedulable(g.node(e.src))) continue;
+      if (s.cycle[e.src] + dm.latencyCycles(g, e.src, opts.tcpNs) >
+          s.cycle[v] + static_cast<int>(e.dist) * opts.ii) {
+        result.error = "loop-carried dependence violated at II=" +
+                       std::to_string(opts.ii);
+        return result;
+      }
+    }
+  }
+
+  result.success = true;
+  return result;
+}
+
+}  // namespace lamp::sched

@@ -1,0 +1,30 @@
+#ifndef LAMP_SCHED_GREEDY_H
+#define LAMP_SCHED_GREEDY_H
+
+/// \file greedy.h
+/// Scalable mapping-aware heuristic scheduler — the "future work" of the
+/// paper's Section 5, used here both as a standalone method and as the
+/// warm-start incumbent for the MILP.
+///
+/// Two phases:
+///  1. global area-oriented cut cover (area-flow selection over the whole
+///     CDFG, starting from the primary outputs and black-box ports);
+///  2. list scheduling of the contracted root graph: each selected root
+///     is an atomic unit with its mapped delay (one LUT level / carry /
+///     black-box), chained within the clock period like the SDC scheduler
+///     chains operations — but over LUTs instead of operations.
+
+#include "cut/cut.h"
+#include "sched/sdc.h"
+
+namespace lamp::sched {
+
+/// Mapping-aware greedy schedule over the given cut database. With a
+/// trivial-cut database this degenerates to SDC scheduling with mapped
+/// delays. Options reuse SdcOptions (II, Tcp, resources, latency bound).
+SdcResult greedyMapSchedule(const ir::Graph& g, const cut::CutDatabase& db,
+                            const DelayModel& dm, const SdcOptions& opts = {});
+
+}  // namespace lamp::sched
+
+#endif  // LAMP_SCHED_GREEDY_H

@@ -1,0 +1,267 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cut/dep.h"
+#include "ir/passes.h"
+
+namespace lamp::sched {
+
+using cut::Cut;
+using cut::CutElement;
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+
+namespace {
+
+bool schedulable(const Node& n) {
+  return n.kind != OpKind::Const;
+}
+
+std::string nodeDesc(const Graph& g, NodeId id) {
+  std::ostringstream os;
+  os << "node " << id << " (" << ir::opKindName(g.node(id).kind);
+  if (!g.node(id).name.empty()) os << " '" << g.node(id).name << "'";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+int Schedule::latency(const Graph& g) const {
+  int best = 0;
+  bool sawSink = false;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const OpKind k = g.node(v).kind;
+    if (k == OpKind::Output || k == OpKind::Store) {
+      best = std::max(best, cycle[v]);
+      sawSink = true;
+    }
+  }
+  if (!sawSink) {
+    for (NodeId v = 0; v < g.size(); ++v) {
+      if (cycle[v] != kUnscheduled) best = std::max(best, cycle[v]);
+    }
+  }
+  return best;
+}
+
+std::optional<std::string> validateSchedule(const ValidationInput& in,
+                                            const Schedule& s) {
+  const Graph& g = in.graph;
+  constexpr double kEps = 1e-6;
+  if (s.cycle.size() != g.size() || s.startNs.size() != g.size() ||
+      s.selectedCut.size() != g.size()) {
+    return "schedule vectors do not match graph size";
+  }
+  if (s.ii < 1) return "II must be >= 1";
+
+  // --- per-node basics -----------------------------------------------------
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (!schedulable(n)) continue;
+    if (s.cycle[v] < 0) return nodeDesc(g, v) + ": not scheduled";
+    if (n.kind == OpKind::Input && s.cycle[v] != 0) {
+      return nodeDesc(g, v) + ": inputs must be scheduled at cycle 0";
+    }
+    const auto& cuts = in.cuts.at(v).cuts;
+    if (s.selectedCut[v] >= static_cast<int>(cuts.size())) {
+      return nodeDesc(g, v) + ": cut index out of range";
+    }
+    const bool mustRoot = n.kind == OpKind::Output ||
+                          ir::isBlackBox(n.kind);
+    if (mustRoot && !s.isRoot(v)) {
+      return nodeDesc(g, v) + ": outputs and black boxes must be roots";
+    }
+  }
+
+  // --- dependences -----------------------------------------------------------
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (!schedulable(n)) continue;
+    for (const Edge& e : n.operands) {
+      if (!schedulable(g.node(e.src))) continue;
+      const int lat = in.delays.latencyCycles(g, e.src, s.tcpNs);
+      if (s.cycle[e.src] + lat >
+          s.cycle[v] + static_cast<int>(e.dist) * s.ii) {
+        return nodeDesc(g, v) + ": dependence violated from " +
+               nodeDesc(g, e.src);
+      }
+    }
+  }
+
+  // --- cut cover -------------------------------------------------------------
+  // (a) boundary elements of selected cuts must themselves be rooted;
+  // (b) cones must be closed: operands of cone nodes are boundary,
+  //     in-cone, or constants;
+  // (c) everything needed transitively from the sinks must materialize.
+  auto isAvailable = [&](NodeId u) {
+    const OpKind k = g.node(u).kind;
+    return k == OpKind::Input || k == OpKind::Const || s.isRoot(u);
+  };
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (!s.isRoot(v)) continue;
+    const Cut& c = in.cuts.at(v).cuts[s.selectedCut[v]];
+    for (const CutElement& e : c.elements) {
+      if (!isAvailable(e.node)) {
+        return nodeDesc(g, v) + ": cut input " + nodeDesc(g, e.node) +
+               " is not a root";
+      }
+    }
+    if (c.kind != cut::CutKind::Lut) continue;
+    for (const NodeId x : c.coneNodes) {
+      if (s.cycle[x] > s.cycle[v]) {
+        return nodeDesc(g, v) + ": cone node " + nodeDesc(g, x) +
+               " scheduled after its root";
+      }
+      const auto& xOps = g.node(x).operands;
+      for (std::uint16_t oi = 0; oi < xOps.size(); ++oi) {
+        const Edge& e = xOps[oi];
+        const bool inCone =
+            e.dist == 0 &&
+            std::binary_search(c.coneNodes.begin(), c.coneNodes.end(), e.src);
+        const bool isBoundary = c.containsElement(e.src, e.dist);
+        const bool isConst = g.node(e.src).kind == OpKind::Const;
+        // Operands with no bit-level dependence (dominated by constants,
+        // shifted out) don't have to appear in the cone at all.
+        if (!inCone && !isBoundary && !isConst &&
+            cut::operandRelevant(g, x, oi)) {
+          return nodeDesc(g, v) + ": cone not closed at " + nodeDesc(g, e.src);
+        }
+      }
+    }
+  }
+  {
+    std::vector<bool> needed(g.size(), false);
+    std::vector<NodeId> work;
+    for (NodeId v = 0; v < g.size(); ++v) {
+      const OpKind k = g.node(v).kind;
+      if (k == OpKind::Output || k == OpKind::Store) {
+        needed[v] = true;
+        work.push_back(v);
+      }
+    }
+    while (!work.empty()) {
+      const NodeId v = work.back();
+      work.pop_back();
+      if (g.node(v).kind == OpKind::Input ||
+          g.node(v).kind == OpKind::Const) {
+        continue;
+      }
+      if (!s.isRoot(v)) return nodeDesc(g, v) + ": needed but not a root";
+      const Cut& c = in.cuts.at(v).cuts[s.selectedCut[v]];
+      for (const CutElement& e : c.elements) {
+        if (!needed[e.node]) {
+          needed[e.node] = true;
+          work.push_back(e.node);
+        }
+      }
+    }
+  }
+
+  // --- cycle time ------------------------------------------------------------
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (!s.isRoot(v)) continue;
+    const int lat = in.delays.latencyCycles(g, v, s.tcpNs);
+    const double rem = in.delays.remainderNs(g, v, s.tcpNs);
+    if (lat >= 1 && s.startNs[v] > kEps) {
+      return nodeDesc(g, v) + ": multi-cycle ops must start at L=0";
+    }
+    if (s.startNs[v] + rem > s.tcpNs + kEps) {
+      return nodeDesc(g, v) + ": exceeds the clock period";
+    }
+    const Cut& c = in.cuts.at(v).cuts[s.selectedCut[v]];
+    for (const CutElement& e : c.elements) {
+      const Node& u = g.node(e.node);
+      if (u.kind == OpKind::Input || u.kind == OpKind::Const) continue;
+      const int latU = in.delays.latencyCycles(g, e.node, s.tcpNs);
+      const int ready = s.cycle[e.node] + latU;
+      // Same-clock chaining binds when the producer's ready cycle equals
+      // the consumer's cycle shifted by II*dist iterations.
+      if (ready != s.cycle[v] + static_cast<int>(e.dist) * s.ii) continue;
+      const double remU = in.delays.remainderNs(g, e.node, s.tcpNs);
+      if (s.startNs[e.node] + remU > s.startNs[v] + kEps) {
+        return nodeDesc(g, v) + ": chaining violates timing from " +
+               nodeDesc(g, e.node);
+      }
+    }
+  }
+
+  // --- modulo resource limits -------------------------------------------------
+  for (const auto& [rc, limit] : in.resources) {
+    std::vector<int> perSlot(s.ii, 0);
+    for (NodeId v = 0; v < g.size(); ++v) {
+      const Node& n = g.node(v);
+      if (!ir::isBlackBox(n.kind) || n.resourceClass() != rc) continue;
+      if (++perSlot[s.cycle[v] % s.ii] > limit) {
+        std::ostringstream os;
+        os << "resource class " << ir::resourceClassName(rc)
+           << " oversubscribed in modulo slot " << (s.cycle[v] % s.ii);
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Windows computeWindows(const Graph& g, const DelayModel& dm, int ii,
+                       double tcpNs, int maxLatency) {
+  Windows w;
+  w.maxLatency = maxLatency;
+  w.asap.assign(g.size(), 0);
+  w.alap.assign(g.size(), maxLatency);
+
+  struct Arc {
+    NodeId u, v;
+    int weight;  // S_v >= S_u + weight
+  };
+  std::vector<Arc> arcs;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (!schedulable(n)) continue;
+    for (const Edge& e : n.operands) {
+      if (!schedulable(g.node(e.src))) continue;
+      const int lat = dm.latencyCycles(g, e.src, tcpNs);
+      arcs.push_back(Arc{e.src, v, lat - static_cast<int>(e.dist) * ii});
+    }
+  }
+
+  // Longest-path relaxation (Bellman-Ford). A change on pass |V| means a
+  // positive cycle: the recurrence cannot meet this II.
+  for (std::size_t pass = 0; pass <= g.size(); ++pass) {
+    bool changed = false;
+    for (const Arc& a : arcs) {
+      if (w.asap[a.u] + a.weight > w.asap[a.v]) {
+        w.asap[a.v] = w.asap[a.u] + a.weight;
+        changed = true;
+      }
+      if (w.alap[a.v] - a.weight < w.alap[a.u]) {
+        w.alap[a.u] = w.alap[a.v] - a.weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (pass == g.size()) {
+      w.feasible = false;
+      return w;
+    }
+  }
+
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Input) w.alap[v] = 0;  // inputs arrive at t = 0
+    if (!schedulable(n)) continue;
+    if (w.asap[v] > w.alap[v]) {
+      w.feasible = false;
+      return w;
+    }
+  }
+  return w;
+}
+
+}  // namespace lamp::sched

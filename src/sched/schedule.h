@@ -1,0 +1,87 @@
+#ifndef LAMP_SCHED_SCHEDULE_H
+#define LAMP_SCHED_SCHEDULE_H
+
+/// \file schedule.h
+/// Modulo schedules: per-node cycle and intra-cycle start time, plus the
+/// cut (LUT cone) selected for each root node. Includes the constraint
+/// validator used by tests and flows, and the dependence-window machinery
+/// (ASAP/ALAP over the modulo constraint graph) shared by the SDC
+/// heuristic and the MILP.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cut/cut.h"
+#include "ir/graph.h"
+#include "sched/delay_model.h"
+
+namespace lamp::sched {
+
+/// Index of "no cut selected" (node absorbed into consumers' cones).
+inline constexpr int kAbsorbed = -1;
+/// Cycle assigned to nodes that are not scheduled (Const).
+inline constexpr int kUnscheduled = -1;
+
+/// A modulo schedule of one loop iteration.
+struct Schedule {
+  int ii = 1;
+  double tcpNs = 10.0;
+  /// S_v: cycle per node (kUnscheduled for Const nodes).
+  std::vector<int> cycle;
+  /// L_v: start time inside the cycle, in ns (0 for Const/Input).
+  std::vector<double> startNs;
+  /// Selected cut index into the CutDatabase (kAbsorbed for non-roots,
+  /// kUnscheduled-style -1 also for Input/Const which have no cuts).
+  std::vector<int> selectedCut;
+
+  bool isRoot(ir::NodeId v) const { return selectedCut[v] >= 0; }
+
+  /// Latest cycle of any Output/Store node (pipeline depth in cycles).
+  int latency(const ir::Graph& g) const;
+
+  /// Number of pipeline stages (distinct cycles used), = latency + 1.
+  int stages(const ir::Graph& g) const { return latency(g) + 1; }
+};
+
+/// Resource limits per class (absent class = unconstrained).
+using ResourceLimits = std::map<ir::ResourceClass, int>;
+
+/// Everything the validator needs to judge a schedule.
+struct ValidationInput {
+  const ir::Graph& graph;
+  const cut::CutDatabase& cuts;
+  const DelayModel& delays;
+  ResourceLimits resources;
+};
+
+/// Checks all constraints of Section 3.2 against a schedule:
+///  - every node scheduled within [0, maxLatency], Inputs at cycle 0,
+///  - cut cover: outputs/black boxes rooted, selected-cut boundary
+///    elements rooted, every non-root reachable inside a selected cone,
+///  - dependences: S_u + lat_u <= S_v + II*dist for every edge,
+///  - cycle time: recomputed chain arrival times within each cycle stay
+///    under Tcp (selected roots chain by rootDelay),
+///  - modulo resource limits for black-box classes.
+/// Returns std::nullopt if valid, else a diagnostic.
+std::optional<std::string> validateSchedule(const ValidationInput& in,
+                                            const Schedule& s);
+
+/// Dependence windows for exact scheduling. Computed by Bellman-Ford
+/// longest paths over the modulo constraint graph (edge weight
+/// lat_u - II*dist), so they never exclude a feasible schedule with
+/// latency <= maxLatency.
+struct Windows {
+  std::vector<int> asap;
+  std::vector<int> alap;
+  int maxLatency = 0;
+  bool feasible = true;  ///< false when a positive cycle makes II infeasible
+};
+
+Windows computeWindows(const ir::Graph& g, const DelayModel& dm, int ii,
+                       double tcpNs, int maxLatency);
+
+}  // namespace lamp::sched
+
+#endif  // LAMP_SCHED_SCHEDULE_H

@@ -1,0 +1,155 @@
+#include "sched/sdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/passes.h"
+
+namespace lamp::sched {
+
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+
+SdcResult sdcSchedule(const Graph& g, const cut::CutDatabase& trivialDb,
+                      const DelayModel& dm, const SdcOptions& opts) {
+  SdcResult result;
+  Schedule& s = result.schedule;
+  s.ii = opts.ii;
+  s.tcpNs = opts.tcpNs;
+  s.cycle.assign(g.size(), kUnscheduled);
+  s.startNs.assign(g.size(), 0.0);
+  s.selectedCut.assign(g.size(), kAbsorbed);
+
+  // Recurrence feasibility at this II (cycle-level constraints only).
+  const Windows win = computeWindows(g, dm, opts.ii, opts.tcpNs,
+                                     opts.maxLatency);
+  if (!win.feasible) {
+    result.error = "recurrence infeasible at II=" + std::to_string(opts.ii);
+    return result;
+  }
+
+  const auto order = ir::topologicalOrder(g);
+
+  // ASAP list scheduling with chaining, iterated to a fixed point so that
+  // chains through loop-carried edges (a back-edge producer finishing in
+  // the same clock its consumer reads it) settle. Placements only grow
+  // between passes, so the loop either converges or exceeds the latency
+  // bound (=> this II is infeasible for the heuristic).
+  constexpr int kMaxPasses = 12;
+  bool converged = false;
+  for (int pass = 0; pass < kMaxPasses && !converged; ++pass) {
+    converged = pass > 0;
+
+    // Modulo reservation table, rebuilt per pass.
+    std::map<ir::ResourceClass, std::vector<int>> mrt;
+    for (const auto& [rc, limit] : opts.resources) {
+      (void)limit;
+      mrt[rc].assign(opts.ii, 0);
+    }
+
+    for (const NodeId v : order) {
+      const Node& n = g.node(v);
+      if (n.kind == OpKind::Const) continue;
+
+      int cyc = 0;
+      double start = 0.0;
+      for (const Edge& e : n.operands) {
+        const Node& u = g.node(e.src);
+        if (u.kind == OpKind::Const) continue;
+        if (s.cycle[e.src] == kUnscheduled) continue;  // first-pass back edge
+        const int latU = dm.latencyCycles(g, e.src, opts.tcpNs);
+        const int ready =
+            s.cycle[e.src] + latU - static_cast<int>(e.dist) * opts.ii;
+        // Additive model: producers finish after their full characterized
+        // delay (not the mapped remainder the validator uses).
+        const double readyNs =
+            s.startNs[e.src] +
+            (dm.additiveDelay(g, e.src) - latU * opts.tcpNs);
+        if (ready > cyc) {
+          cyc = ready;
+          start = readyNs;
+        } else if (ready == cyc) {
+          start = std::max(start, readyNs);
+        }
+      }
+      if (cyc < 0) {
+        cyc = 0;
+        start = 0.0;
+      }
+
+      const double delay = dm.additiveDelay(g, v);
+      const int lat = dm.latencyCycles(g, v, opts.tcpNs);
+      // Chaining: push to the next stage when the op does not fit, or
+      // when a multi-cycle op does not start at a register boundary.
+      if (start + (lat > 0 ? 0.0 : delay) > opts.tcpNs + 1e-9 ||
+          (lat > 0 && start > 1e-9)) {
+        ++cyc;
+        start = 0.0;
+      }
+
+      // Modulo reservation for constrained black boxes.
+      if (ir::isBlackBox(n.kind)) {
+        const auto it = opts.resources.find(n.resourceClass());
+        if (it != opts.resources.end()) {
+          auto& slots = mrt[n.resourceClass()];
+          int tries = 0;
+          while (slots[cyc % opts.ii] >= it->second) {
+            ++cyc;
+            start = 0.0;
+            if (++tries > opts.ii + opts.maxLatency) {
+              result.error =
+                  "resource class " +
+                  std::string(ir::resourceClassName(it->first)) +
+                  " infeasible at II=" + std::to_string(opts.ii);
+              return result;
+            }
+          }
+          ++slots[cyc % opts.ii];
+        }
+      }
+
+      if (cyc > opts.maxLatency) {
+        result.error = "latency bound exceeded";
+        return result;
+      }
+      if (cyc != s.cycle[v] || std::abs(start - s.startNs[v]) > 1e-9) {
+        converged = false;
+      }
+      s.cycle[v] = cyc;
+      s.startNs[v] = start;
+      // Every materialized node roots its unit cut in the additive flow.
+      s.selectedCut[v] = trivialDb.at(v).cuts.empty() ? kAbsorbed : 0;
+    }
+  }
+  if (!converged) {
+    result.error = "recurrence chaining did not converge at II=" +
+                   std::to_string(opts.ii);
+    return result;
+  }
+
+  // Loop-carried upper bounds: ASAP placement is as early as possible, so
+  // a violated back edge means this II is infeasible for this heuristic.
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Const) continue;
+    for (const Edge& e : n.operands) {
+      if (g.node(e.src).kind == OpKind::Const) continue;
+      const int lat = dm.latencyCycles(g, e.src, opts.tcpNs);
+      if (s.cycle[e.src] + lat >
+          s.cycle[v] + static_cast<int>(e.dist) * opts.ii) {
+        result.error = "loop-carried dependence violated at II=" +
+                       std::to_string(opts.ii);
+        return result;
+      }
+    }
+  }
+
+  result.success = true;
+  return result;
+}
+
+}  // namespace lamp::sched

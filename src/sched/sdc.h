@@ -1,0 +1,45 @@
+#ifndef LAMP_SCHED_SDC_H
+#define LAMP_SCHED_SDC_H
+
+/// \file sdc.h
+/// SDC-style heuristic modulo scheduler with operator chaining — the
+/// stand-in for the commercial HLS tool of the paper's experiments
+/// (Vivado HLS / LegUp both schedule this way, refs [22][3]).
+///
+/// The scheduler uses the *additive* delay model: every operation charges
+/// its characterized delay, chains accumulate within a cycle, and a new
+/// pipeline stage starts whenever the accumulated delay would exceed the
+/// target clock period. Black-box operations are placed against a modulo
+/// reservation table. Every node becomes a root with its unit cut (no
+/// mapping awareness).
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace lamp::sched {
+
+struct SdcOptions {
+  int ii = 1;
+  double tcpNs = 10.0;
+  ResourceLimits resources;
+  /// Hard bound on pipeline latency in cycles.
+  int maxLatency = 256;
+};
+
+struct SdcResult {
+  bool success = false;
+  std::string error;
+  Schedule schedule;
+};
+
+/// Schedules `g` at the requested II. `trivialDb` must be the unit-cut
+/// database (cut::trivialCuts); the resulting schedule selects the unit
+/// cut of every materialized node. Fails (success=false) when the
+/// recurrence or resource constraints cannot be met at this II.
+SdcResult sdcSchedule(const ir::Graph& g, const cut::CutDatabase& trivialDb,
+                      const DelayModel& dm, const SdcOptions& opts = {});
+
+}  // namespace lamp::sched
+
+#endif  // LAMP_SCHED_SDC_H

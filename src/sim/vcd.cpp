@@ -1,0 +1,165 @@
+#include "sim/vcd.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "ir/passes.h"
+
+namespace lamp::sim {
+
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+using sched::DelayModel;
+using sched::Schedule;
+
+namespace {
+
+std::string vcdId(std::size_t k) {
+  std::string id;
+  do {
+    id += static_cast<char>(33 + (k % 94));
+    k /= 94;
+  } while (k > 0);
+  return id;
+}
+
+std::string bin(std::uint64_t v, std::uint16_t width) {
+  std::string s = "b";
+  for (int b = width - 1; b >= 0; --b) {
+    s += ((v >> b) & 1) ? '1' : '0';
+  }
+  return s;
+}
+
+std::string vcdName(const Graph& g, NodeId v) {
+  const Node& n = g.node(v);
+  std::string name = "n" + std::to_string(v);
+  if (!n.name.empty()) {
+    name += "_";
+    for (const char c : n.name) {
+      name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+bool writeVcd(std::ostream& os, const Graph& g, const Schedule& s,
+              const DelayModel& dm, const std::vector<InputFrame>& frames,
+              Memory* memory, const VcdOptions& opts, std::string* error) {
+  // Which nodes appear in the trace.
+  std::vector<bool> traced(g.size(), false);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Const || n.width == 0) continue;
+    if (!opts.includeAbsorbed && !s.isRoot(v) && n.kind != OpKind::Input) {
+      continue;
+    }
+    traced[v] = true;
+  }
+
+  os << "$timescale " << opts.timescale << " $end\n";
+  os << "$scope module " << (g.name().empty() ? "lamp" : g.name())
+     << " $end\n";
+  std::vector<std::string> idOf(g.size());
+  std::size_t counter = 0;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (!traced[v]) continue;
+    idOf[v] = vcdId(counter++);
+    os << "$var wire " << g.node(v).width << " " << idOf[v] << " "
+       << vcdName(g, v) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Execute and collect (clock -> value changes).
+  const auto order = ir::topologicalOrder(g);
+  std::uint32_t maxDist = 0;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    for (const Edge& e : g.node(v).operands) maxDist = std::max(maxDist, e.dist);
+  }
+  const std::size_t ring = maxDist + 1;
+  std::vector<std::vector<std::uint64_t>> value(
+      g.size(), std::vector<std::uint64_t>(ring, 0));
+  std::map<int, std::vector<std::pair<NodeId, std::uint64_t>>> changes;
+
+  std::vector<std::uint64_t> ops;
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    const std::size_t slot = k % ring;
+    for (const NodeId v : order) {
+      const Node& n = g.node(v);
+      if (n.kind == OpKind::Const) {
+        value[v][slot] = maskTo(n.constValue, n.width);
+        continue;
+      }
+      std::uint64_t out = 0;
+      if (n.kind == OpKind::Input) {
+        const auto it = frames[k].find(v);
+        out = maskTo(it == frames[k].end() ? 0 : it->second, n.width);
+      } else {
+        ops.clear();
+        for (const Edge& e : n.operands) {
+          const Node& u = g.node(e.src);
+          if (u.kind == OpKind::Const) {
+            ops.push_back(maskTo(u.constValue, u.width));
+            continue;
+          }
+          const std::int64_t prodIter =
+              static_cast<std::int64_t>(k) - e.dist;
+          if (prodIter < 0) {
+            ops.push_back(0);
+            continue;
+          }
+          const int prodClock =
+              static_cast<int>(prodIter) * s.ii +
+              (u.kind == OpKind::Input ? 0 : s.cycle[e.src]) +
+              dm.latencyCycles(g, e.src, s.tcpNs);
+          const int myClock =
+              static_cast<int>(k) * s.ii +
+              (n.kind == OpKind::Input ? 0 : s.cycle[v]);
+          if (prodClock > myClock) {
+            if (error) {
+              *error = "schedule violates readiness at node " +
+                       std::to_string(v);
+            }
+            return false;
+          }
+          ops.push_back(value[e.src][prodIter % ring]);
+        }
+        out = evalOp(g, v, ops, memory);
+      }
+      value[v][slot] = out;
+      if (traced[v]) {
+        const int clock =
+            static_cast<int>(k) * s.ii +
+            (n.kind == OpKind::Input ? 0 : s.cycle[v]) +
+            dm.latencyCycles(g, v, s.tcpNs);
+        changes[clock].emplace_back(v, out);
+      }
+    }
+  }
+
+  // Emit changes; later writes at the same time win (map preserves clock
+  // order, vector preserves production order within a clock).
+  std::vector<std::uint64_t> last(g.size(), ~0ull);
+  for (const auto& [clock, list] : changes) {
+    bool headerWritten = false;
+    for (const auto& [v, val] : list) {
+      if (last[v] == val) continue;
+      if (!headerWritten) {
+        os << "#" << clock << "\n";
+        headerWritten = true;
+      }
+      os << bin(val, g.node(v).width) << " " << idOf[v] << "\n";
+      last[v] = val;
+    }
+  }
+  os << "#" << ((frames.size()) * s.ii + s.latency(g) + 1) << "\n";
+  return true;
+}
+
+}  // namespace lamp::sim

@@ -1,0 +1,36 @@
+#ifndef LAMP_SIM_VCD_H
+#define LAMP_SIM_VCD_H
+
+/// \file vcd.h
+/// Value-change-dump (IEEE 1364 §18) waveform emission for scheduled
+/// pipelines: re-executes the schedule clock by clock and records every
+/// node's value stream, so the pipeline can be inspected in GTKWave
+/// alongside the RTL the Verilog emitter produces.
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.h"
+#include "sim/interp.h"
+
+namespace lamp::sim {
+
+struct VcdOptions {
+  /// Timescale per clock cycle.
+  std::string timescale = "1ns";
+  /// Also dump absorbed (non-root) intermediate values.
+  bool includeAbsorbed = true;
+};
+
+/// Simulates `frames.size()` iterations through the schedule and writes a
+/// VCD trace of every node value at its compute clock. Returns false
+/// (stream untouched beyond the header) when the pipeline run fails; the
+/// failure reason is written to `error` if non-null.
+bool writeVcd(std::ostream& os, const ir::Graph& g, const sched::Schedule& s,
+              const sched::DelayModel& dm,
+              const std::vector<InputFrame>& frames, Memory* memory = nullptr,
+              const VcdOptions& opts = {}, std::string* error = nullptr);
+
+}  // namespace lamp::sim
+
+#endif  // LAMP_SIM_VCD_H

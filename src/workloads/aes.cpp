@@ -1,0 +1,74 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::ResourceClass;
+using ir::Value;
+
+namespace {
+
+Value xtime8(GraphBuilder& b, Value v) {
+  Value hi = b.bit(v, 7);
+  Value red = b.mux(hi, b.constant(0x1B, 8), b.constant(0, 8));
+  return b.bxor(b.shl(v, 1), red);
+}
+
+}  // namespace
+
+Benchmark makeAes(Scale scale) {
+  // AES round column(s): SubBytes via S-box ROM (black-box loads),
+  // MixColumns (xtime networks), AddRoundKey. Scale::Paper processes all
+  // four columns of the state; Default one column.
+  const int columns = scale == Scale::Paper ? 4 : 1;
+  GraphBuilder b("aes" + std::to_string(columns));
+  std::vector<Value> state, key;
+  for (int i = 0; i < 4 * columns; ++i) {
+    state.push_back(b.input("s" + std::to_string(i), 8));
+  }
+  for (int i = 0; i < 4 * columns; ++i) {
+    key.push_back(b.input("k" + std::to_string(i), 8));
+  }
+
+  for (int c = 0; c < columns; ++c) {
+    std::array<Value, 4> sb;
+    for (int i = 0; i < 4; ++i) {
+      sb[i] = b.load(ResourceClass::MemPortA,
+                     b.zext(state[c * 4 + i], 10), 8,
+                     "sbox" + std::to_string(c * 4 + i));
+    }
+    Value t = b.bxor(b.bxor(sb[0], sb[1]), b.bxor(sb[2], sb[3]), "t");
+    for (int i = 0; i < 4; ++i) {
+      Value pair = b.bxor(sb[i], sb[(i + 1) & 3]);
+      Value mixed = b.bxor(b.bxor(sb[i], t), xtime8(b, pair));
+      Value out = b.bxor(mixed, key[c * 4 + i]);
+      b.output(out, "o" + std::to_string(c * 4 + i));
+    }
+  }
+
+  Benchmark bm;
+  bm.name = "AES";
+  bm.domain = "Cryptography";
+  bm.description = "Advanced Encryption Standard";
+  bm.graph = b.take();
+  bm.resources[ResourceClass::MemPortA] = 4 * columns;  // replicated ROMs
+  bm.initMemory = [](sim::Memory& mem) {
+    std::vector<std::uint64_t> rom(1024, 0);
+    for (int i = 0; i < 256; ++i) rom[i] = aesSbox()[i];
+    mem.setBank(ResourceClass::MemPortA, rom);
+  };
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed ^ (iter * 0xA24BAED4963EE407ull);
+    for (const ir::NodeId id : ins) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[id] = (state >> 29) & 0xFF;
+    }
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

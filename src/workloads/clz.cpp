@@ -1,0 +1,78 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+/// One reduction element: zero flag (1 bit) and leading-zero count
+/// (valid only when the block is not all-zero).
+struct Block {
+  Value zero;
+  Value count;
+};
+
+}  // namespace
+
+Benchmark makeClz(Scale scale) {
+  const int width = scale == Scale::Paper ? 64 : 32;
+  GraphBuilder b("clz" + std::to_string(width));
+  Value x = b.input("x", static_cast<std::uint16_t>(width));
+
+  // Base layer: 2-bit blocks (high bit first).
+  std::vector<Block> layer;
+  for (int i = width - 2; i >= 0; i -= 2) {
+    Value hi = b.bit(x, i + 1);
+    Value lo = b.bit(x, i);
+    Block blk;
+    blk.zero = b.bnot(b.bor(hi, lo));
+    blk.count = b.bnot(hi);  // 0 leading zeros when the high bit is set
+    layer.push_back(blk);
+  }
+
+  // Pairwise combination: count gains one bit per level.
+  while (layer.size() > 1) {
+    std::vector<Block> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const Block& hiB = layer[i];      // more significant half
+      const Block& loB = layer[i + 1];
+      Block c;
+      c.zero = b.band(hiB.zero, loB.zero);
+      // If the high half is all zero, count = blockBits + low count,
+      // which is exactly {1, loCount}; otherwise {0, hiCount}.
+      Value inner = b.mux(hiB.zero, loB.count, hiB.count);
+      c.count = b.concat(hiB.zero, inner);
+      next.push_back(c);
+    }
+    layer = std::move(next);
+  }
+
+  // Full-zero handling: output width fits the value `width` itself.
+  std::uint16_t w = 1;
+  while ((1 << w) < width + 1) ++w;
+  Value count = b.zext(layer[0].count, w);
+  Value all = b.constant(static_cast<std::uint64_t>(width), w);
+  Value result = b.mux(layer[0].zero, all, count);
+  b.output(result, "clz");
+
+  Benchmark bm;
+  bm.name = "CLZ";
+  bm.domain = "Kernel";
+  bm.description = "Count the number of leading zeros in a " +
+                   std::to_string(width) + "-bit value";
+  bm.graph = b.take();
+  bm.makeInputs = [width](std::uint64_t iter, std::uint32_t seed) {
+    // Mix of random values and values with long zero prefixes.
+    std::uint64_t v = (iter * 2654435761u) ^ (seed * 40503u) ^ (seed >> 3);
+    if (iter % 4 == 1) v >>= (iter % 61);
+    if (iter % 7 == 2) v = 0;
+    return sim::InputFrame{{0, v & (width >= 64 ? ~0ull
+                                                : ((1ull << width) - 1))}};
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,62 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+/// atan(2^-i) in Q14 fixed point.
+constexpr std::uint16_t kAtan[12] = {12868, 7596, 4014, 2037, 1023, 512,
+                                     256,   128,  64,   32,   16,   8};
+
+}  // namespace
+
+Benchmark makeCordic(Scale scale) {
+  const int iterationsCount = scale == Scale::Paper ? 10 : 6;
+  // 14-bit datapath (Q2.12): the carry chains stay short enough that LUT
+  // packing of the sign-select network shifts the stage boundaries.
+  const std::uint16_t w = 14;
+  GraphBuilder b("cordic" + std::to_string(iterationsCount));
+  Value x = b.input("x", w, true);
+  Value y = b.input("y", w, true);
+  Value z = b.input("z", w, true);
+  Value zero = b.constant(0, w);
+
+  for (int i = 0; i < iterationsCount; ++i) {
+    Value d = b.ge(z, zero, true, "d" + std::to_string(i));  // sign test
+    Value ys = b.ashr(y, i);
+    Value xs = b.ashr(x, i);
+    Value atan = b.constant(kAtan[i] >> 2, w);  // rescaled to Q2.12
+    Value xn = b.mux(d, b.sub(x, ys), b.add(x, ys));
+    Value yn = b.mux(d, b.add(y, xs), b.sub(y, xs));
+    Value zn = b.mux(d, b.sub(z, atan), b.add(z, atan));
+    x = xn;
+    y = yn;
+    z = zn;
+  }
+  b.output(x, "cos");
+  b.output(y, "sin");
+  b.output(z, "zres");
+
+  Benchmark bm;
+  bm.name = "CORDIC";
+  bm.domain = "Scientific Computing";
+  bm.description = "Coordinate Rotation Digital Computer";
+  bm.graph = b.take();
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed ^ (iter * 0xD1B54A32D192ED03ull);
+    for (const ir::NodeId id : ins) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[id] = (state >> 19) & 0x3FFF;
+    }
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

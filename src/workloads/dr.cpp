@@ -1,0 +1,84 @@
+#include "ir/builder.h"
+#include "ir/passes.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::ResourceClass;
+using ir::Value;
+
+Benchmark makeDr(Scale scale) {
+  // Digit recognition via k-nearest-neighbours: per training sample,
+  // Hamming distance between the test digit and a stored digit (xor +
+  // popcount tree of narrow adds — prime LUT-packing territory), then a
+  // loop-carried running minimum with its index.
+  const int bits = scale == Scale::Paper ? 49 : 25;
+  GraphBuilder b("dr" + std::to_string(bits));
+  Value test = b.input("test", static_cast<std::uint16_t>(bits));
+  Value idx = b.input("idx", 10);
+
+  Value train =
+      b.load(ResourceClass::MemPortA, idx, static_cast<std::uint16_t>(bits),
+             "train");
+  Value diff = b.bxor(test, train, "diff");
+
+  // Popcount tree: widths grow 1 -> 6.
+  std::vector<Value> layer;
+  for (int i = 0; i < bits; ++i) layer.push_back(b.bit(diff, i));
+  std::uint16_t w = 1;
+  while (layer.size() > 1) {
+    ++w;
+    std::vector<Value> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(b.add(b.zext(layer[i], w), b.zext(layer[i + 1], w)));
+    }
+    if (layer.size() % 2) next.push_back(b.zext(layer.back(), w));
+    layer = std::move(next);
+  }
+  Value dist = b.zext(layer[0], 8, "dist");
+
+  // Running minimum distance + argmin index across the stream.
+  Value bestPh = b.placeholder(8, "best");
+  Value bestIdxPh = b.placeholder(10, "bestIdx");
+  Value initPh = b.placeholder(1, "seen");
+  Value seenPrev = Value{initPh.id, 1};
+  Value better = b.lt(dist, Value{bestPh.id, 1}, false, "better");
+  // Replace when this is the first sample or strictly better.
+  Value take = b.bor(b.bnot(seenPrev), better, "take");
+  Value bestNext = b.mux(take, dist, Value{bestPh.id, 1}, "best_next");
+  Value bestIdxNext =
+      b.mux(take, idx, Value{bestIdxPh.id, 1}, "best_idx_next");
+  Value seenNext = b.bor(seenPrev, b.constant(1, 1), "seen_next");
+  b.bindPlaceholder(bestPh, bestNext);
+  b.bindPlaceholder(bestIdxPh, bestIdxNext);
+  b.bindPlaceholder(initPh, seenNext);
+  b.output(bestNext, "best");
+  b.output(bestIdxNext, "bestIdx");
+
+  Benchmark bm;
+  bm.name = "DR";
+  bm.domain = "Machine Learning";
+  bm.description = "Digit recognition using k-nearest neighbours algorithm";
+  bm.graph = ir::compact(b.graph());
+  bm.resources[ResourceClass::MemPortA] = 1;
+  bm.initMemory = [bits](sim::Memory& mem) {
+    std::vector<std::uint64_t> bank(1024);
+    std::uint64_t s = 0x1234567890ABCDEFull;
+    for (auto& wd : bank) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      wd = (s >> 8) & ((bits >= 64 ? 0 : (1ull << bits)) - 1);
+    }
+    mem.setBank(ResourceClass::MemPortA, bank);
+  };
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    f[ins[0]] = 0x15A5F0F0F5ull ^ (seed * 0x9E37ull);  // the test digit
+    f[ins[1]] = iter & 1023;                           // streaming index
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,65 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+/// xtime: multiply by x in GF(2^8) modulo 0x11B.
+ir::Value xtime(GraphBuilder& b, Value v) {
+  Value hi = b.bit(v, 7);
+  Value shifted = b.shl(v, 1);
+  Value poly = b.constant(0x1B, 8);
+  Value zero = b.constant(0, 8);
+  Value red = b.mux(hi, poly, zero);
+  return b.bxor(shifted, red);
+}
+
+}  // namespace
+
+Benchmark makeGfmul(Scale scale) {
+  // Full 8 partial products in both scales (the kernel is already small);
+  // Paper additionally widens to two parallel products.
+  const int copies = scale == Scale::Paper ? 2 : 1;
+  GraphBuilder b("gfmul");
+  std::vector<Value> as, bs;
+  for (int c = 0; c < copies; ++c) {
+    as.push_back(b.input("a" + std::to_string(c), 8));
+    bs.push_back(b.input("b" + std::to_string(c), 8));
+  }
+  for (int c = 0; c < copies; ++c) {
+    Value a = as[c], bb = bs[c];
+    Value zero = b.constant(0, 8);
+    Value p = zero;
+    Value aa = a;
+    for (int i = 0; i < 8; ++i) {
+      Value bi = b.bit(bb, i);
+      Value term = b.mux(bi, aa, zero);
+      p = i == 0 ? term : b.bxor(p, term);
+      if (i < 7) aa = xtime(b, aa);
+    }
+    b.output(p, "p" + std::to_string(c));
+  }
+
+  Benchmark bm;
+  bm.name = "GFMUL";
+  bm.domain = "Kernel";
+  bm.description = "Efficient Galois field multiplication";
+  bm.graph = b.take();
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed ^ (iter * 0x9E3779B97F4A7C15ull);
+    for (const ir::NodeId id : ins) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[id] = (state >> 24) & 0xFF;
+    }
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,56 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+Benchmark makeGsm(Scale scale) {
+  // GSM full-rate RPE block normalization: |sample| via sign select, a
+  // sliding-window maximum over the last W samples (loop-carried taps),
+  // and the scale-factor thresholds used to normalize the block.
+  const int window = scale == Scale::Paper ? 8 : 5;
+  GraphBuilder b("gsm" + std::to_string(window));
+  Value x = b.input("x", 16, true);
+  Value zero = b.constant(0, 16);
+
+  Value neg = b.lt(x, zero, true, "neg");  // sign test
+  Value absx = b.mux(neg, b.sub(zero, x), x, "abs");
+
+  // Window maximum over |x| taps from the previous iterations.
+  Value mx = absx;
+  for (int d = 1; d < window; ++d) {
+    Value tap = Value{absx.id, static_cast<std::uint32_t>(d)};
+    Value ge = b.ge(mx, tap, false, "ge" + std::to_string(d));
+    mx = b.mux(ge, mx, tap, "mx" + std::to_string(d));
+  }
+  b.output(mx, "blockMax");
+
+  // Scale factor: number of leading thresholds the max stays under.
+  Value t1 = b.lt(mx, b.constant(1 << 14, 16), false);
+  Value t2 = b.lt(mx, b.constant(1 << 12, 16), false);
+  Value t3 = b.lt(mx, b.constant(1 << 10, 16), false);
+  Value scaleBits = b.concat(t1, b.concat(t2, t3), "scaleBits");
+  b.output(scaleBits, "scale");
+
+  // Normalized sample at the coarse scale (shift by constant).
+  Value shifted = b.shl(absx, 2, "norm2");
+  Value normalized = b.mux(t2, shifted, absx, "normalized");
+  b.output(normalized, "norm");
+
+  Benchmark bm;
+  bm.name = "GSM";
+  bm.domain = "Communication";
+  bm.description = "Global system for mobile communications";
+  bm.graph = b.take();
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    const std::uint64_t v =
+        (iter * 2246822519ull + seed * 374761393ull) & 0xFFFF;
+    return sim::InputFrame{{ins[0], v}};
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

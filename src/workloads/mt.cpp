@@ -1,0 +1,74 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::ResourceClass;
+using ir::Value;
+
+Benchmark makeMt(Scale scale) {
+  // One Mersenne Twister step: state mix of mt[i], mt[i+1], mt[i+397]
+  // (BRAM loads — black boxes) followed by the tempering network (pure
+  // shift/xor/and logic, richly LUT-packable). Scale::Paper generates two
+  // independent lanes, as a dual-stream PRNG would.
+  const int lanes = scale == Scale::Paper ? 2 : 1;
+  GraphBuilder b("mt");
+  std::vector<Value> idxIn;
+  for (int l = 0; l < lanes; ++l) {
+    idxIn.push_back(b.input("i" + std::to_string(l), 10));
+  }
+  for (int l = 0; l < lanes; ++l) {
+    Value idx = idxIn[l];
+    Value one = b.constant(1, 10);
+    Value off = b.constant(397, 10);
+    Value mtI = b.load(ResourceClass::MemPortA, idx, 32, "mt_i");
+    Value mtI1 = b.load(ResourceClass::MemPortA, b.add(idx, one), 32, "mt_i1");
+    Value mtI397 =
+        b.load(ResourceClass::MemPortB, b.add(idx, off), 32, "mt_i397");
+
+    Value upper = b.band(mtI, b.constant(0x80000000u, 32));
+    Value lower = b.band(mtI1, b.constant(0x7FFFFFFFu, 32));
+    Value x = b.bor(upper, lower, "x");
+    Value xsh = b.shr(x, 1);
+    Value matA = b.constant(0x9908B0DFu, 32);
+    Value zero = b.constant(0, 32);
+    Value xA = b.bxor(xsh, b.mux(b.bit(x, 0), matA, zero), "xA");
+    Value y = b.bxor(mtI397, xA, "mix");
+
+    y = b.bxor(y, b.shr(y, 11));
+    y = b.bxor(y, b.band(b.shl(y, 7), b.constant(0x9D2C5680u, 32)));
+    y = b.bxor(y, b.band(b.shl(y, 15), b.constant(0xEFC60000u, 32)));
+    y = b.bxor(y, b.shr(y, 18));
+    b.output(y, "rnd" + std::to_string(l));
+  }
+
+  Benchmark bm;
+  bm.name = "MT";
+  bm.domain = "Scientific Computing";
+  bm.description = "Mersenne Twister pseudorandom number generation";
+  bm.graph = b.take();
+  bm.resources[ResourceClass::MemPortA] = 2 * lanes;  // dual-port BRAM
+  bm.resources[ResourceClass::MemPortB] = 1 * lanes;
+  bm.initMemory = [](sim::Memory& mem) {
+    std::vector<std::uint64_t> bank(1024);
+    std::uint32_t s = 19650218u;
+    for (auto& w : bank) {
+      s = 1812433253u * (s ^ (s >> 30)) + 1;
+      w = s;
+    }
+    mem.setBank(ResourceClass::MemPortA, bank);
+    mem.setBank(ResourceClass::MemPortB, bank);
+  };
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    for (std::size_t l = 0; l < ins.size(); ++l) {
+      f[ins[l]] = (iter * 7 + seed + l * 131) % 600;
+    }
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,19 @@
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+std::vector<Benchmark> allBenchmarks(Scale scale) {
+  std::vector<Benchmark> result;
+  result.push_back(makeClz(scale));
+  result.push_back(makeXorr(scale));
+  result.push_back(makeGfmul(scale));
+  result.push_back(makeCordic(scale));
+  result.push_back(makeMt(scale));
+  result.push_back(makeAes(scale));
+  result.push_back(makeRs(scale));
+  result.push_back(makeDr(scale));
+  result.push_back(makeGsm(scale));
+  return result;
+}
+
+}  // namespace lamp::workloads

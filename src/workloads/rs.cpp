@@ -1,0 +1,66 @@
+#include "ir/builder.h"
+#include "ir/passes.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+Value xtime8(GraphBuilder& b, Value v, const std::string& name = {}) {
+  Value hi = b.bit(v, 7);
+  Value red = b.mux(hi, b.constant(0x1B, 8), b.constant(0, 8));
+  return b.bxor(b.shl(v, 1), red, name);
+}
+
+/// v * x^k in GF(2^8) (constant multiplier alpha^k with alpha = x).
+Value gfConstMul(GraphBuilder& b, Value v, int k) {
+  Value acc = v;
+  for (int i = 0; i < k; ++i) acc = xtime8(b, acc);
+  return acc;
+}
+
+}  // namespace
+
+Benchmark makeRs(Scale scale) {
+  // Reed-Solomon decoder syndrome computation: for each syndrome j,
+  // s_j <- alpha^j * s_j(prev iteration) + r, streaming one received
+  // symbol per cycle. Loop-carried accumulators exercise exactly the
+  // cyclic cut enumeration of Fig. 2. Larger alpha powers lengthen the
+  // recurrence chain; the additive model cannot sustain II=1 beyond
+  // alpha^2 at 10 ns, which is why Paper scale stresses the II logic.
+  const int syndromes = scale == Scale::Paper ? 6 : 3;
+  GraphBuilder b("rs" + std::to_string(syndromes));
+  Value r = b.input("r", 8);
+
+  std::vector<Value> syn;
+  for (int j = 0; j < syndromes; ++j) {
+    Value ph = b.placeholder(8, "s" + std::to_string(j));
+    Value scaled = j == 0 ? Value{ph.id, 1} : gfConstMul(b, Value{ph.id, 1}, j);
+    Value next = b.bxor(scaled, r, "s" + std::to_string(j) + "_next");
+    b.bindPlaceholder(ph, next);
+    b.output(next, "syn" + std::to_string(j));
+    syn.push_back(next);
+  }
+  // Error detector: any syndrome non-zero.
+  Value any = syn[0];
+  for (std::size_t j = 1; j < syn.size(); ++j) any = b.bor(any, syn[j]);
+  Value zero = b.constant(0, 8);
+  b.output(b.ne(any, zero, "errFlag"), "err");
+
+  Benchmark bm;
+  bm.name = "RS";
+  bm.domain = "Communication";
+  bm.description = "Reed-Solomon decoder";
+  bm.graph = ir::compact(b.graph());
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    return sim::InputFrame{
+        {ins[0], (iter * 37 + seed * 11 + (iter >> 3)) & 0xFF}};
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,42 @@
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace lamp::workloads {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+Benchmark makeXorr(Scale scale) {
+  // The HLS front-end unrolls `for (i) acc ^= a[i];` into a chain; the
+  // paper's version was additionally tree-balanced but the algorithmic
+  // story (many 1.37 ns xors forced into 2 stages by the additive model,
+  // one LUT level chain after mapping) is identical.
+  const int elements = scale == Scale::Paper ? 25 : 13;
+  const int width = 32;
+  GraphBuilder b("xorr" + std::to_string(elements));
+  std::vector<Value> in;
+  for (int i = 0; i < elements; ++i) {
+    in.push_back(b.input("a" + std::to_string(i), width));
+  }
+  Value acc = in[0];
+  for (int i = 1; i < elements; ++i) acc = b.bxor(acc, in[i]);
+  b.output(acc, "xorr");
+
+  Benchmark bm;
+  bm.name = "XORR";
+  bm.domain = "Kernel";
+  bm.description = "XOR reduction for an array of elements";
+  bm.graph = b.take();
+  bm.makeInputs = [elements](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed * 6364136223846793005ull + iter + 1;
+    for (int i = 0; i < elements; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[static_cast<ir::NodeId>(i)] = state >> 16;
+    }
+    return f;
+  };
+  return bm;
+}
+
+}  // namespace lamp::workloads

@@ -1,0 +1,467 @@
+// Tests for bit-level dependence tracking (DEP functions) and word-level
+// cut enumeration (Algorithm 1): feasibility invariants, wire cones,
+// carry fallbacks, loop-carried boundaries, pruning behaviour.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cut/cut.h"
+#include "cut/dep.h"
+#include "ir/builder.h"
+#include "ir/passes.h"
+
+namespace lamp::cut {
+namespace {
+
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::Value;
+
+// --- DEP functions ---------------------------------------------------------
+
+TEST(DepTest, BitwiseDependsOnSameBit) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value x = b.bxor(a, c);
+  const auto deps = depBits(b.graph(), x.id, 5);
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0].operandIndex, 0);
+  EXPECT_EQ(deps[0].bit, 5);
+  EXPECT_EQ(deps[1].operandIndex, 1);
+  EXPECT_EQ(deps[1].bit, 5);
+}
+
+TEST(DepTest, ShrShiftsDependence) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value s = b.shr(a, 3);
+  EXPECT_EQ(depBits(b.graph(), s.id, 0).size(), 1u);
+  EXPECT_EQ(depBits(b.graph(), s.id, 0)[0].bit, 3);
+  // Bits shifted in from beyond the width are constants: no deps.
+  EXPECT_TRUE(depBits(b.graph(), s.id, 6).empty());
+}
+
+TEST(DepTest, ShlShiftsDependence) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value s = b.shl(a, 2);
+  EXPECT_TRUE(depBits(b.graph(), s.id, 1).empty());  // zero-filled
+  ASSERT_EQ(depBits(b.graph(), s.id, 7).size(), 1u);
+  EXPECT_EQ(depBits(b.graph(), s.id, 7)[0].bit, 5);
+}
+
+TEST(DepTest, AShrSaturatesAtSignBit) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8, true);
+  Value s = b.ashr(a, 4);
+  ASSERT_EQ(depBits(b.graph(), s.id, 7).size(), 1u);
+  EXPECT_EQ(depBits(b.graph(), s.id, 7)[0].bit, 7);  // sign fill
+  EXPECT_EQ(depBits(b.graph(), s.id, 1)[0].bit, 5);
+}
+
+TEST(DepTest, AddHasTriangularDependence) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value s = b.add(a, c);
+  EXPECT_EQ(depBits(b.graph(), s.id, 0).size(), 2u);
+  EXPECT_EQ(depBits(b.graph(), s.id, 3).size(), 8u);  // bits 0..3 of both
+}
+
+TEST(DepTest, SignTestCollapsesToTopBit) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8, true);
+  Value zero = b.constant(0, 8);
+  Value ge = b.ge(a, zero, true);
+  EXPECT_TRUE(isSignTest(b.graph(), ge.id));
+  const auto deps = depBits(b.graph(), ge.id, 0);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].bit, 7);
+}
+
+TEST(DepTest, UnsignedCompareIsNotSignTest) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value zero = b.constant(0, 8);
+  Value ge = b.ge(a, zero, false);
+  EXPECT_FALSE(isSignTest(b.graph(), ge.id));
+}
+
+TEST(DepTest, EqAgainstConstUsesOnlyVariableBits) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 4);
+  Value c = b.constant(9, 4);
+  Value eq = b.eq(a, c);
+  const auto deps = depBits(b.graph(), eq.id, 0);
+  EXPECT_EQ(deps.size(), 4u);  // only a's bits; const folds away
+  for (const DepBit& d : deps) EXPECT_EQ(d.operandIndex, 0);
+}
+
+TEST(DepTest, MuxDependsOnSelectAndDataBits) {
+  GraphBuilder b("t");
+  Value s = b.input("s", 1);
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value m = b.mux(s, a, c);
+  const auto deps = depBits(b.graph(), m.id, 6);
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_EQ(deps[0].operandIndex, 0);
+  EXPECT_EQ(deps[0].bit, 0);
+  EXPECT_EQ(deps[1].bit, 6);
+  EXPECT_EQ(deps[2].bit, 6);
+}
+
+TEST(DepTest, ConcatRoutesBits) {
+  GraphBuilder b("t");
+  Value hi = b.input("h", 3);
+  Value lo = b.input("l", 5);
+  Value cc = b.concat(hi, lo);
+  EXPECT_EQ(depBits(b.graph(), cc.id, 2)[0].operandIndex, 1);
+  EXPECT_EQ(depBits(b.graph(), cc.id, 6)[0].operandIndex, 0);
+  EXPECT_EQ(depBits(b.graph(), cc.id, 6)[0].bit, 1);
+}
+
+TEST(DepTest, BlackBoxHasNoDeps) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.mul(a, a, 8);
+  EXPECT_TRUE(depBits(b.graph(), m.id, 0).empty());
+}
+
+// --- enumeration -----------------------------------------------------------
+
+/// Invariants every database must satisfy.
+void checkInvariants(const ir::Graph& g, const CutDatabase& db, int k,
+                     int maxElements) {
+  ASSERT_EQ(db.cutsOf.size(), g.size());
+  for (ir::NodeId v = 0; v < g.size(); ++v) {
+    const ir::Node& n = g.node(v);
+    const auto& cuts = db.at(v).cuts;
+    if (n.kind == OpKind::Input || n.kind == OpKind::Const) {
+      EXPECT_TRUE(cuts.empty());
+      continue;
+    }
+    ASSERT_FALSE(cuts.empty()) << "node " << v << " has no cuts";
+    bool hasFallback = false;
+    for (const Cut& c : cuts) {
+      EXPECT_TRUE(std::is_sorted(c.elements.begin(), c.elements.end()));
+      EXPECT_LE(static_cast<int>(c.elements.size()), maxElements);
+      if (c.kind == CutKind::Lut) {
+        EXPECT_LE(c.maxSupport, k);
+        for (const SupportSet& s : c.bitSupport) {
+          EXPECT_LE(static_cast<int>(s.size()), static_cast<std::size_t>(k));
+          EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+          // Every support bit's element is listed in the cut.
+          for (const BitKey key : s) {
+            EXPECT_TRUE(c.containsElement(bitKeyNode(key), bitKeyDist(key)));
+          }
+        }
+      }
+      if (c.isUnit) hasFallback = true;
+      // Elements must never be Const nodes, and never value-less nodes.
+      for (const CutElement& e : c.elements) {
+        EXPECT_NE(g.node(e.node).kind, OpKind::Const);
+        EXPECT_NE(g.node(e.node).kind, OpKind::Output);
+        EXPECT_NE(g.node(e.node).kind, OpKind::Store);
+      }
+    }
+    EXPECT_TRUE(hasFallback) << "node " << v << " lost its unit cut";
+  }
+}
+
+TEST(CutEnumTest, XorTreeCollapsesIntoOneCut) {
+  // x = (a ^ b) ^ (c ^ d): with K=4 the root has a cut {a,b,c,d} with
+  // per-bit support 4 and the whole tree in one LUT level.
+  GraphBuilder b("tree");
+  Value a = b.input("a", 8), c = b.input("b", 8);
+  Value d = b.input("c", 8), e = b.input("d", 8);
+  Value x = b.bxor(b.bxor(a, c), b.bxor(d, e), "root");
+  b.output(x, "o");
+  const auto db = enumerateCuts(b.graph());
+  checkInvariants(b.graph(), db, 4, 8);
+
+  const auto& cuts = db.at(x.id).cuts;
+  bool foundFull = false;
+  for (const Cut& cut : cuts) {
+    if (cut.elements.size() == 4 && cut.coneNodes.size() == 3) {
+      foundFull = true;
+      EXPECT_EQ(cut.maxSupport, 4);
+      EXPECT_EQ(cut.lutCost, 8);  // one 4-LUT per output bit
+    }
+  }
+  EXPECT_TRUE(foundFull);
+}
+
+TEST(CutEnumTest, DeepXorChainRespectsK) {
+  // A chain of 6 xors with K=4 cannot be absorbed into a single cut:
+  // the root's best cut has support at most 4.
+  GraphBuilder b("chain");
+  Value acc = b.input("i0", 4);
+  for (int i = 1; i <= 6; ++i) {
+    acc = b.bxor(acc, b.input("i" + std::to_string(i), 4));
+  }
+  b.output(acc, "o");
+  const auto db = enumerateCuts(b.graph());
+  checkInvariants(b.graph(), db, 4, 8);
+  for (const Cut& cut : db.at(acc.id).cuts) {
+    EXPECT_LE(cut.maxSupport, 4);
+  }
+}
+
+TEST(CutEnumTest, NarrowAddIsLutFeasible) {
+  GraphBuilder b("add2");
+  Value a = b.input("a", 2), c = b.input("c", 2);
+  Value s = b.add(a, c);
+  b.output(s, "o");
+  const auto db = enumerateCuts(b.graph());
+  const auto& cuts = db.at(s.id).cuts;
+  ASSERT_FALSE(cuts.empty());
+  bool lutUnit = false;
+  for (const Cut& cut : cuts) {
+    if (cut.isUnit && cut.kind == CutKind::Lut) {
+      lutUnit = true;
+      EXPECT_EQ(cut.maxSupport, 4);  // out[1] needs a[1:0], c[1:0]
+    }
+  }
+  EXPECT_TRUE(lutUnit);
+}
+
+TEST(CutEnumTest, WideAddFallsBackToCarry) {
+  GraphBuilder b("add16");
+  Value a = b.input("a", 16), c = b.input("c", 16);
+  Value s = b.add(a, c);
+  b.output(s, "o");
+  const auto db = enumerateCuts(b.graph());
+  const auto& cuts = db.at(s.id).cuts;
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0].kind, CutKind::Carry);
+  EXPECT_EQ(cuts[0].lutCost, 16);
+  EXPECT_EQ(cuts[0].elements.size(), 2u);
+}
+
+TEST(CutEnumTest, WireConesCostNothing) {
+  GraphBuilder b("wires");
+  Value a = b.input("a", 16);
+  Value s = b.shr(a, 4);
+  Value sl = b.slice(s, 0, 8);
+  b.output(sl, "o");
+  const auto db = enumerateCuts(b.graph());
+  for (const Cut& cut : db.at(sl.id).cuts) {
+    EXPECT_EQ(cut.lutCost, 0) << cut.str(b.graph());
+  }
+}
+
+TEST(CutEnumTest, LogicBehindWiresStillCosts) {
+  GraphBuilder b("wl");
+  Value a = b.input("a", 8), c = b.input("c", 8);
+  Value x = b.bxor(a, c);
+  Value s = b.slice(x, 0, 4);
+  b.output(s, "o");
+  const auto db = enumerateCuts(b.graph());
+  // A cut of the slice absorbing the xor costs 4 LUTs (4 costed bits);
+  // the unit cut (boundary = xor node) costs 0 (pure routing).
+  bool sawAbsorbing = false, sawUnit = false;
+  for (const Cut& cut : db.at(s.id).cuts) {
+    if (cut.isUnit) {
+      sawUnit = true;
+      EXPECT_EQ(cut.lutCost, 0);
+    } else if (cut.coneNodes.size() == 2) {
+      sawAbsorbing = true;
+      EXPECT_EQ(cut.lutCost, 4);
+    }
+  }
+  EXPECT_TRUE(sawUnit);
+  EXPECT_TRUE(sawAbsorbing);
+}
+
+TEST(CutEnumTest, SignTestThroughXorTracksOneBit) {
+  // Fig. 2 shape: C = (t ^ A) >= 0 (signed) depends only on the sign bit,
+  // so a cut of C through the xor needs just two boundary bits.
+  GraphBuilder b("fig2");
+  Value t = b.input("t", 8, true);
+  Value a = b.input("a", 8, true);
+  Value x = b.bxor(t, a, "B");
+  Value zero = b.constant(0, 8);
+  Value c = b.ge(x, zero, true, "C");
+  b.output(c, "o");
+  const auto db = enumerateCuts(b.graph());
+  bool foundDeep = false;
+  for (const Cut& cut : db.at(c.id).cuts) {
+    if (cut.coneNodes.size() == 2) {  // absorbed the xor
+      foundDeep = true;
+      EXPECT_EQ(cut.maxSupport, 2);
+      EXPECT_EQ(cut.lutCost, 1);
+    }
+  }
+  EXPECT_TRUE(foundDeep);
+}
+
+TEST(CutEnumTest, LoopCarriedEdgeIsBoundary) {
+  // next = x ^ next@1 : the unit cut contains (next, dist 1) itself and
+  // enumeration terminates despite the cycle.
+  GraphBuilder b("acc");
+  Value x = b.input("x", 8);
+  Value ph = b.placeholder(8, "acc");
+  Value nxt = b.bxor(x, Value{ph.id, 1}, "next");
+  b.bindPlaceholder(ph, nxt);
+  b.output(nxt, "o");
+  const ir::Graph g = ir::compact(b.graph());
+  const auto db = enumerateCuts(g);
+  checkInvariants(g, db, 4, 8);
+  const ir::NodeId xorId = 1;  // input, xor, output after compaction
+  ASSERT_EQ(g.node(xorId).kind, OpKind::Xor);
+  const auto& cuts = db.at(xorId).cuts;
+  ASSERT_FALSE(cuts.empty());
+  for (const Cut& cut : cuts) {
+    EXPECT_TRUE(cut.containsElement(xorId, 1));
+  }
+}
+
+TEST(CutEnumTest, BlackBoxGetsPortCutOnly) {
+  GraphBuilder b("bb");
+  Value a = b.input("a", 8);
+  Value addr = b.input("addr", 8);
+  Value m = b.mul(a, a, 8, "m");
+  Value l = b.load(ir::ResourceClass::MemPortA, addr, 8, "l");
+  Value x = b.bxor(m, l);
+  b.output(x, "o");
+  const auto db = enumerateCuts(b.graph());
+  ASSERT_EQ(db.at(m.id).cuts.size(), 1u);
+  EXPECT_EQ(db.at(m.id).cuts[0].kind, CutKind::BlackBox);
+  ASSERT_EQ(db.at(l.id).cuts.size(), 1u);
+  // Consumers of black boxes cannot absorb them.
+  for (const Cut& cut : db.at(x.id).cuts) {
+    EXPECT_LE(cut.coneNodes.size(), 1u);
+  }
+}
+
+TEST(CutEnumTest, CutCapRespected) {
+  GraphBuilder b("wide");
+  std::vector<Value> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(b.input("i" + std::to_string(i), 4));
+  Value l1a = b.bxor(ins[0], ins[1]), l1b = b.bxor(ins[2], ins[3]);
+  Value l1c = b.bxor(ins[4], ins[5]), l1d = b.bxor(ins[6], ins[7]);
+  Value l2a = b.bxor(l1a, l1b), l2b = b.bxor(l1c, l1d);
+  Value root = b.bxor(l2a, l2b);
+  b.output(root, "o");
+  CutEnumOptions opts;
+  opts.maxCutsPerNode = 3;
+  const auto db = enumerateCuts(b.graph(), opts);
+  for (ir::NodeId v = 0; v < b.graph().size(); ++v) {
+    EXPECT_LE(db.at(v).cuts.size(), 3u);
+  }
+  checkInvariants(b.graph(), db, 4, 8);
+}
+
+TEST(CutEnumTest, TrivialDatabaseHasOneCutPerNode) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8), c = b.input("c", 8);
+  Value x = b.bxor(a, c);
+  Value s = b.add(x, c);
+  b.output(s, "o");
+  const auto db = trivialCuts(b.graph());
+  EXPECT_TRUE(db.at(a.id).cuts.empty());
+  ASSERT_EQ(db.at(x.id).cuts.size(), 1u);
+  EXPECT_TRUE(db.at(x.id).cuts[0].isUnit);
+  ASSERT_EQ(db.at(s.id).cuts.size(), 1u);
+  EXPECT_EQ(db.at(s.id).cuts[0].kind, CutKind::Carry);  // 8-bit add
+}
+
+TEST(CutEnumTest, SharedOperandUsesOneChoice) {
+  // v = a ^ a (same source twice): cuts must not double-count elements.
+  GraphBuilder b("dup");
+  Value a0 = b.input("a0", 4), a1 = b.input("a1", 4);
+  Value a = b.bxor(a0, a1);
+  Value v = b.band(a, a);
+  b.output(v, "o");
+  const auto db = enumerateCuts(b.graph());
+  for (const Cut& cut : db.at(v.id).cuts) {
+    EXPECT_LE(cut.elements.size(), 2u);
+  }
+}
+
+
+TEST(DepTest, DominatingConstantBitsHaveNoDeps) {
+  GraphBuilder b("mask");
+  Value a = b.input("a", 8);
+  Value mask = b.constant(0x0F, 8);
+  Value masked = b.band(a, mask);
+  // Low nibble: identity wires; high nibble: constant zero.
+  EXPECT_EQ(depBits(b.graph(), masked.id, 2).size(), 1u);
+  EXPECT_TRUE(depBits(b.graph(), masked.id, 6).empty());
+  EXPECT_TRUE(isIdentityBit(b.graph(), masked.id, 2));
+  EXPECT_FALSE(isIdentityBit(b.graph(), masked.id, 6));
+}
+
+TEST(DepTest, XorWithConstantNeedsLutOnSetBits) {
+  GraphBuilder b("inv");
+  Value a = b.input("a", 4);
+  Value mask = b.constant(0b0101, 4);
+  Value x = b.bxor(a, mask);
+  EXPECT_FALSE(isIdentityBit(b.graph(), x.id, 0));  // inverted: NOT gate
+  EXPECT_TRUE(isIdentityBit(b.graph(), x.id, 1));   // pass-through
+  EXPECT_EQ(depBits(b.graph(), x.id, 0).size(), 1u);
+}
+
+TEST(CutEnumTest, NeutralMasksCostNothing) {
+  // (a & 0x0F) | 0x30 : every bit is a wire or a constant -> 0 LUTs.
+  GraphBuilder b("mask");
+  Value a = b.input("a", 8);
+  Value low = b.band(a, b.constant(0x0F, 8));
+  Value out = b.bor(low, b.constant(0x30, 8));
+  b.output(out, "o");
+  const auto db = enumerateCuts(b.graph());
+  for (const Cut& cut : db.at(out.id).cuts) {
+    EXPECT_EQ(cut.lutCost, 0) << cut.str(b.graph());
+  }
+}
+
+// Property sweep: random DAGs keep all invariants for several K values.
+class CutEnumRandomTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(CutEnumRandomTest, InvariantsHoldOnRandomGraphs) {
+  const unsigned seed = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  std::mt19937 rng(seed * 2654435761u + k);
+  GraphBuilder b("rand");
+  std::vector<Value> pool;
+  std::uniform_int_distribution<int> widthDist(1, 16);
+  for (int i = 0; i < 4; ++i) {
+    pool.push_back(b.input("in" + std::to_string(i), 8));
+  }
+  std::uniform_int_distribution<int> opDist(0, 8);
+  for (int i = 0; i < 30; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    Value x = pool[pick(rng)];
+    Value y = pool[pick(rng)];
+    Value v;
+    switch (opDist(rng)) {
+      case 0: v = b.band(x, y); break;
+      case 1: v = b.bor(x, y); break;
+      case 2: v = b.bxor(x, y); break;
+      case 3: v = b.bnot(x); break;
+      case 4: v = b.shr(x, 1 + static_cast<int>(rng() % 4)); break;
+      case 5: v = b.add(x, y); break;
+      case 6: v = b.mux(b.bit(x, 0), x, y); break;
+      case 7: v = b.sub(x, y); break;
+      default: v = b.shl(x, 1 + static_cast<int>(rng() % 3)); break;
+    }
+    pool.push_back(v);
+  }
+  b.output(pool.back(), "o");
+  (void)widthDist;
+  CutEnumOptions opts;
+  opts.k = k;
+  const auto db = enumerateCuts(b.graph(), opts);
+  checkInvariants(b.graph(), db, k, opts.maxElements);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CutEnumRandomTest,
+    ::testing::Combine(::testing::Range(1u, 11u), ::testing::Values(3, 4, 6)));
+
+}  // namespace
+}  // namespace lamp::cut

@@ -1,0 +1,113 @@
+// Integration tests: the three experimental flows end to end on real
+// benchmarks, checking validity, functional equivalence, and the paper's
+// directional claims (MILP-map saves FFs over both baselines).
+
+#include <gtest/gtest.h>
+
+#include "flow/flow.h"
+#include "report/table.h"
+
+namespace lamp::flow {
+namespace {
+
+using workloads::Benchmark;
+using workloads::Scale;
+
+FlowOptions quick() {
+  FlowOptions o;
+  o.solverTimeLimitSeconds = 30.0;
+  return o;
+}
+
+TEST(FlowTest, GfmulAllMethodsRunAndVerify) {
+  const Benchmark bm = workloads::makeGfmul(Scale::Default);
+  const BenchmarkResults r = runAllMethods(bm, quick());
+  for (const FlowResult* f : {&r.hls, &r.milpBase, &r.milpMap}) {
+    ASSERT_TRUE(f->success) << methodName(f->method) << ": " << f->error;
+    EXPECT_TRUE(f->functionallyVerified) << methodName(f->method);
+  }
+  // Paper: GFMUL collapses to a single combinational stage, 0 FFs.
+  EXPECT_GT(r.hls.area.ffs, 0);
+  EXPECT_EQ(r.milpMap.area.ffs, 0);
+  EXPECT_EQ(r.milpMap.area.stages, 1);
+  EXPECT_LE(r.milpMap.area.luts, r.hls.area.luts);
+}
+
+TEST(FlowTest, XorrCollapsesToCombinational) {
+  const Benchmark bm = workloads::makeXorr(Scale::Default);
+  const BenchmarkResults r = runAllMethods(bm, quick());
+  ASSERT_TRUE(r.hls.success) << r.hls.error;
+  ASSERT_TRUE(r.milpBase.success) << r.milpBase.error;
+  ASSERT_TRUE(r.milpMap.success) << r.milpMap.error;
+  // Paper Section 4.1: MILP-base generates an identical schedule to the
+  // HLS tool on XORR (same stage count, same FFs); MILP-map removes all
+  // pipeline registers.
+  EXPECT_EQ(r.milpBase.area.stages, r.hls.area.stages);
+  EXPECT_GT(r.hls.area.ffs, 0);
+  EXPECT_EQ(r.milpMap.area.ffs, 0);
+  EXPECT_EQ(r.milpMap.area.stages, 1);
+}
+
+TEST(FlowTest, RsLoopCarriedFlowVerifies) {
+  const Benchmark bm = workloads::makeRs(Scale::Default);
+  const BenchmarkResults r = runAllMethods(bm, quick());
+  for (const FlowResult* f : {&r.hls, &r.milpBase, &r.milpMap}) {
+    ASSERT_TRUE(f->success) << methodName(f->method) << ": " << f->error;
+    EXPECT_TRUE(f->functionallyVerified);
+  }
+  // The recurrence registers (3 syndromes x 8 bits) can never vanish.
+  EXPECT_GE(r.milpMap.area.ffs, 3 * 8);
+  EXPECT_LE(r.milpMap.area.ffs, r.hls.area.ffs);
+}
+
+TEST(FlowTest, MtWithBlackBoxesVerifies) {
+  const Benchmark bm = workloads::makeMt(Scale::Default);
+  const BenchmarkResults r = runAllMethods(bm, quick());
+  for (const FlowResult* f : {&r.hls, &r.milpBase, &r.milpMap}) {
+    ASSERT_TRUE(f->success) << methodName(f->method) << ": " << f->error;
+    EXPECT_TRUE(f->functionallyVerified);
+  }
+  EXPECT_LE(r.milpMap.area.ffs, r.hls.area.ffs);
+}
+
+TEST(FlowTest, MilpMapNeverUsesMoreRegistersThanMilpBase) {
+  for (const auto maker :
+       {workloads::makeGfmul, workloads::makeXorr, workloads::makeGsm}) {
+    const Benchmark bm = maker(Scale::Default);
+    const BenchmarkResults r = runAllMethods(bm, quick());
+    ASSERT_TRUE(r.milpBase.success) << bm.name << ": " << r.milpBase.error;
+    ASSERT_TRUE(r.milpMap.success) << bm.name << ": " << r.milpMap.error;
+    // Mapping awareness strictly enlarges the MILP's feasible space, so
+    // with the solver run to optimality the objective cannot be worse.
+    if (r.milpBase.status == lp::SolveStatus::Optimal &&
+        r.milpMap.status == lp::SolveStatus::Optimal) {
+      EXPECT_LE(r.milpMap.objective, r.milpBase.objective + 1e-6) << bm.name;
+    }
+  }
+}
+
+TEST(ReportTest, TableFormatsAndCsv) {
+  report::Table t({"Design", "CP(ns)", "LUT"});
+  t.addRow({"CLZ", "5.43", "171"});
+  t.addRule();
+  t.addRow({"XORR", "5.55", "3394"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Design"), std::string::npos);
+  EXPECT_NE(text.find("XORR"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  std::ostringstream csv;
+  t.printCsv(csv);
+  EXPECT_NE(csv.str().find("CLZ,5.43,171"), std::string::npos);
+}
+
+TEST(ReportTest, PctDelta) {
+  EXPECT_EQ(report::pctDelta(90, 100), "(-10.0%)");
+  EXPECT_EQ(report::pctDelta(115, 100), "(+15.0%)");
+  EXPECT_EQ(report::pctDelta(0, 0), "(+0.0%)");
+  EXPECT_EQ(report::pctDelta(5, 0), "(  -  )");
+}
+
+}  // namespace
+}  // namespace lamp::flow

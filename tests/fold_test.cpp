@@ -1,0 +1,197 @@
+// Tests for constant folding + identity forwarding: specific rewrites,
+// loop-carried safety (registers reset to 0, so back-edge operands are
+// never constants), and randomized semantic-equivalence sweeps against
+// the interpreter.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "ir/passes.h"
+#include "sim/interp.h"
+
+namespace lamp::ir {
+namespace {
+
+TEST(FoldTest, FoldsPureConstantExpressions) {
+  GraphBuilder b("f");
+  Value a = b.constant(0x0F, 8);
+  Value c = b.constant(0x35, 8);
+  Value x = b.bxor(a, c);
+  Value y = b.add(x, b.constant(1, 8));
+  b.output(y, "o");
+  FoldStats st;
+  const Graph g = foldConstants(b.graph(), &st);
+  EXPECT_EQ(st.folded, 2);
+  // input-less graph: const + output only.
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.node(0).kind, OpKind::Const);
+  EXPECT_EQ(g.node(0).constValue, ((0x0Fu ^ 0x35u) + 1) & 0xFF);
+}
+
+TEST(FoldTest, ForwardsNeutralOps) {
+  GraphBuilder b("fwd");
+  Value a = b.input("a", 8);
+  Value v = b.bor(a, b.constant(0, 8));
+  v = b.band(v, b.constant(0xFF, 8));
+  v = b.bxor(v, b.constant(0, 8));
+  v = b.shl(v, 0);
+  v = b.add(v, b.constant(0, 8));
+  b.output(v, "o");
+  FoldStats st;
+  const Graph g = foldConstants(b.graph(), &st);
+  EXPECT_EQ(st.forwarded, 5);
+  EXPECT_EQ(g.size(), 2u);  // input + output
+  EXPECT_EQ(g.node(g.outputs()[0]).operands[0].src, g.inputs()[0]);
+}
+
+TEST(FoldTest, MuxWithConstantSelectPicksBranch) {
+  GraphBuilder b("mux");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value m1 = b.mux(b.constant(1, 1), a, c);
+  Value m0 = b.mux(b.constant(0, 1), a, c);
+  b.output(m1, "one");
+  b.output(m0, "zero");
+  const Graph g = foldConstants(b.graph());
+  const auto outs = g.outputs();
+  EXPECT_EQ(g.node(outs[0]).operands[0].src, g.inputs()[0]);
+  EXPECT_EQ(g.node(outs[1]).operands[0].src, g.inputs()[1]);
+}
+
+TEST(FoldTest, NeverFoldsThroughLoopCarriedEdges) {
+  // next = c ^ next@1 with c constant: next is NOT a constant (it reads
+  // the reset value 0 in iteration 0, then toggles).
+  GraphBuilder b("loop");
+  Value c = b.constant(0xAA, 8);
+  Value ph = b.placeholder(8, "st");
+  Value next = b.bxor(c, Value{ph.id, 1}, "next");
+  b.bindPlaceholder(ph, next);
+  b.output(next, "o");
+  const Graph g = foldConstants(ir::compact(b.graph()));
+  bool hasXor = false;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    hasXor |= g.node(v).kind == OpKind::Xor;
+  }
+  EXPECT_TRUE(hasXor);
+
+  sim::Interpreter interp(g);
+  const auto out = g.outputs()[0];
+  EXPECT_EQ(interp.step({}).at(out), 0xAAu);
+  EXPECT_EQ(interp.step({}).at(out), 0x00u);
+  EXPECT_EQ(interp.step({}).at(out), 0xAAu);
+}
+
+TEST(FoldTest, ForwardsIdentityAcrossLoopEdgeSafely) {
+  // v = (x@1 | 0): pure identity of a registered value; forwarding must
+  // compose the distance onto v's consumers.
+  GraphBuilder b("loopfwd");
+  Value x = b.input("x", 8);
+  Value ph = b.placeholder(8, "st");
+  Value idPrev = b.bor(Value{ph.id, 1}, b.constant(0, 8), "idprev");
+  Value next = b.bxor(x, idPrev, "next");
+  b.bindPlaceholder(ph, next);
+  b.output(next, "o");
+  const Graph before = ir::compact(b.graph());
+  const Graph after = foldConstants(before);
+  EXPECT_LT(after.size(), before.size());
+
+  sim::Interpreter ib(before), ia(after);
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    const sim::InputFrame f{{before.inputs()[0], k * 77 + 5}};
+    EXPECT_EQ(ib.step(f).begin()->second, ia.step(f).begin()->second);
+  }
+}
+
+TEST(FoldTest, MutualLoopIdentitiesDoNotCycle) {
+  // a = b@1 | 0 ; b = a@1 | 0 : forwarding both would chase a cycle.
+  Graph g("cyc");
+  Node c0;
+  c0.kind = OpKind::Const;
+  c0.width = 4;
+  g.add(c0);
+  Node a;
+  a.kind = OpKind::Or;
+  a.width = 4;
+  a.operands = {Edge{2, 1}, Edge{0, 0}};
+  g.add(a);  // id 1
+  Node bn;
+  bn.kind = OpKind::Or;
+  bn.width = 4;
+  bn.operands = {Edge{1, 1}, Edge{0, 0}};
+  g.add(bn);  // id 2
+  Node outn;
+  outn.kind = OpKind::Output;
+  outn.width = 4;
+  outn.operands = {Edge{1, 0}};
+  g.add(outn);
+  ASSERT_EQ(verify(g), std::nullopt);
+  const Graph folded = foldConstants(g);
+  EXPECT_EQ(verify(folded), std::nullopt);
+}
+
+class FoldRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FoldRandomTest, SemanticsPreserved) {
+  std::mt19937 rng(GetParam() * 77773u + 5);
+  GraphBuilder b("rand");
+  std::vector<Value> pool;
+  for (int i = 0; i < 2; ++i) {
+    pool.push_back(b.input("in" + std::to_string(i), 8));
+  }
+  // Plant plenty of constants so folding has work to do.
+  for (const std::uint64_t c : {0ull, 0xFFull, 0x0Full, 1ull}) {
+    pool.push_back(b.constant(c, 8));
+  }
+  Value ph = b.placeholder(8, "st");
+  pool.push_back(Value{ph.id, 1});
+  for (int i = 0; i < 20; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    Value x = pool[pick(rng)];
+    Value y = pool[pick(rng)];
+    switch (rng() % 8) {
+      case 0: pool.push_back(b.band(x, y)); break;
+      case 1: pool.push_back(b.bor(x, y)); break;
+      case 2: pool.push_back(b.bxor(x, y)); break;
+      case 3: pool.push_back(b.add(x, y)); break;
+      case 4: pool.push_back(b.sub(x, y)); break;
+      case 5: pool.push_back(b.mux(b.bit(x, rng() % 8), x, y)); break;
+      case 6: pool.push_back(b.shr(x, static_cast<int>(rng() % 8))); break;
+      default: pool.push_back(b.bnot(x)); break;
+    }
+  }
+  Value next = b.bxor(pool.back(), Value{ph.id, 1});
+  b.bindPlaceholder(ph, next);
+  b.output(next, "acc");
+  b.output(pool[pool.size() / 2], "mid");
+  const Graph before = ir::compact(b.graph());
+  FoldStats st;
+  const Graph after = foldConstants(before, &st);
+  ASSERT_EQ(verify(after), std::nullopt);
+  EXPECT_LE(after.size(), before.size());
+
+  // Output node count and order are preserved; compare streams.
+  ASSERT_EQ(after.outputs().size(), before.outputs().size());
+  sim::Interpreter ib(before), ia(after);
+  for (std::uint64_t k = 0; k < 9; ++k) {
+    sim::InputFrame fb, fa;
+    std::uint64_t s = GetParam() * 31 + k;
+    for (const NodeId in : before.inputs()) fb[in] = s = s * 131 + 7;
+    s = GetParam() * 31 + k;
+    for (const NodeId in : after.inputs()) fa[in] = s = s * 131 + 7;
+    const auto ob = ib.step(fb);
+    const auto oa = ia.step(fa);
+    auto itB = ob.begin();
+    auto itA = oa.begin();
+    for (; itB != ob.end(); ++itB, ++itA) {
+      EXPECT_EQ(itB->second, itA->second) << "iter " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldRandomTest, ::testing::Range(1u, 21u));
+
+}  // namespace
+}  // namespace lamp::ir

@@ -1,0 +1,285 @@
+// Unit tests for the word-level CDFG IR: builder, verifier, topological
+// order, compaction, serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.h"
+#include "ir/passes.h"
+
+namespace lamp::ir {
+namespace {
+
+Graph simpleXorChain() {
+  GraphBuilder b("chain");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value x = b.bxor(a, c, "x");
+  Value y = b.band(x, a, "y");
+  b.output(y, "out");
+  return b.take();
+}
+
+TEST(GraphTest, BuildAndQuery) {
+  const Graph g = simpleXorChain();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.inputs().size(), 2u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.node(2).kind, OpKind::Xor);
+  EXPECT_EQ(g.node(2).width, 8);
+  EXPECT_EQ(opKindName(g.node(2).kind), "xor");
+}
+
+TEST(GraphTest, FanoutsReflectOperands) {
+  const Graph g = simpleXorChain();
+  const auto& fo = g.fanouts();
+  // Input a feeds the xor (operand 0) and the and (operand 1).
+  ASSERT_EQ(fo[0].size(), 2u);
+  EXPECT_EQ(fo[0][0].dst, 2u);
+  EXPECT_EQ(fo[0][1].dst, 3u);
+  EXPECT_EQ(fo[0][1].operandIndex, 1u);
+}
+
+TEST(GraphTest, OpClassification) {
+  EXPECT_EQ(opClass(OpKind::Xor), OpClass::Bitwise);
+  EXPECT_EQ(opClass(OpKind::Shl), OpClass::Shift);
+  EXPECT_EQ(opClass(OpKind::Slice), OpClass::Shift);
+  EXPECT_EQ(opClass(OpKind::Add), OpClass::Arith);
+  EXPECT_EQ(opClass(OpKind::Ge), OpClass::Arith);
+  EXPECT_EQ(opClass(OpKind::Mux), OpClass::Mux);
+  EXPECT_EQ(opClass(OpKind::Load), OpClass::BlackBox);
+  EXPECT_TRUE(isLutMappable(OpKind::Xor));
+  EXPECT_FALSE(isLutMappable(OpKind::Mul));
+  EXPECT_FALSE(isLutMappable(OpKind::Const));
+  EXPECT_TRUE(isBlackBox(OpKind::Store));
+}
+
+TEST(GraphTest, ParseOpKindRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(OpKind::Store); ++k) {
+    const OpKind kind = static_cast<OpKind>(k);
+    OpKind parsed;
+    ASSERT_TRUE(parseOpKind(opKindName(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  OpKind dummy;
+  EXPECT_FALSE(parseOpKind("bogus", dummy));
+}
+
+TEST(VerifyTest, AcceptsWellFormed) {
+  const Graph g = simpleXorChain();
+  EXPECT_EQ(verify(g), std::nullopt);
+}
+
+TEST(VerifyTest, RejectsWidthMismatch) {
+  GraphBuilder b("bad");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 4);
+  // Bypass the builder's assert by editing the graph directly.
+  Node n;
+  n.kind = OpKind::Xor;
+  n.width = 8;
+  n.operands = {Edge{a.id, 0}, Edge{c.id, 0}};
+  b.graph().add(std::move(n));
+  EXPECT_NE(verify(b.graph()), std::nullopt);
+}
+
+TEST(VerifyTest, RejectsCombinationalCycle) {
+  Graph g("cyc");
+  Node a;
+  a.kind = OpKind::And;
+  a.width = 1;
+  a.operands = {Edge{1, 0}, Edge{1, 0}};
+  g.add(a);
+  Node bnode;
+  bnode.kind = OpKind::Or;
+  bnode.width = 1;
+  bnode.operands = {Edge{0, 0}, Edge{0, 0}};
+  g.add(bnode);
+  const auto diag = verify(g);
+  ASSERT_NE(diag, std::nullopt);
+  EXPECT_NE(diag->find("cycle"), std::string::npos);
+}
+
+TEST(VerifyTest, AcceptsLoopCarriedCycle) {
+  GraphBuilder b("acc");
+  Value x = b.input("x", 16);
+  Value ph = b.placeholder(16, "acc");
+  Value next = b.bxor(x, Value{ph.id, 1}, "next");
+  b.bindPlaceholder(ph, next);
+  b.output(next, "out");
+  EXPECT_EQ(verify(b.graph()), std::nullopt);
+  // The loop-carried self-dependence survived placeholder binding.
+  const Node& n = b.graph().node(next.id);
+  EXPECT_EQ(n.operands[1].src, next.id);
+  EXPECT_EQ(n.operands[1].dist, 1u);
+}
+
+TEST(VerifyTest, RejectsShiftOutOfRange) {
+  GraphBuilder b("s");
+  Value a = b.input("a", 8);
+  Node n;
+  n.kind = OpKind::Shr;
+  n.width = 8;
+  n.attr0 = 9;
+  n.operands = {Edge{a.id, 0}};
+  b.graph().add(std::move(n));
+  EXPECT_NE(verify(b.graph()), std::nullopt);
+}
+
+TEST(VerifyTest, RejectsUnboundPlaceholderUse) {
+  GraphBuilder b("p");
+  Value ph = b.placeholder(8, "state");
+  Value y = b.bnot(Value{ph.id, 1});
+  b.output(y, "out");
+  EXPECT_NE(verify(b.graph()), std::nullopt);
+}
+
+TEST(TopoTest, RespectsDistZeroEdges) {
+  const Graph g = simpleXorChain();
+  const auto order = topologicalOrder(g);
+  ASSERT_EQ(order.size(), g.size());
+  std::vector<std::size_t> posOf(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) posOf[order[i]] = i;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    for (const Edge& e : g.node(id).operands) {
+      if (e.dist == 0) {
+        EXPECT_LT(posOf[e.src], posOf[id]);
+      }
+    }
+  }
+}
+
+TEST(TopoTest, HandlesLoopCarriedBackEdge) {
+  GraphBuilder b("acc");
+  Value x = b.input("x", 16);
+  Value ph = b.placeholder(16, "acc");
+  Value next = b.bxor(x, Value{ph.id, 1});
+  b.bindPlaceholder(ph, next);
+  b.output(next, "out");
+  const auto order = topologicalOrder(b.graph());
+  EXPECT_EQ(order.size(), b.graph().size());
+}
+
+TEST(CompactTest, DropsDeadNodes) {
+  GraphBuilder b("dead");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  b.bxor(a, c, "unused");
+  Value used = b.band(a, c, "used");
+  b.output(used, "out");
+  std::vector<NodeId> remap;
+  const Graph g = compact(b.graph(), &remap);
+  EXPECT_EQ(g.size(), 4u);  // 2 inputs + and + output
+  EXPECT_EQ(remap[2], kNoNode);
+  EXPECT_EQ(verify(g), std::nullopt);
+}
+
+TEST(CompactTest, RemovesBoundPlaceholders) {
+  GraphBuilder b("acc");
+  Value x = b.input("x", 16);
+  Value ph = b.placeholder(16, "acc");
+  Value next = b.bxor(x, Value{ph.id, 1});
+  b.bindPlaceholder(ph, next);
+  b.output(next, "out");
+  const Graph g = compact(b.graph());
+  EXPECT_EQ(g.size(), 3u);  // input, xor, output
+  EXPECT_EQ(verify(g), std::nullopt);
+}
+
+TEST(DepthTest, CountsLevels) {
+  GraphBuilder b("d");
+  Value a = b.input("a", 4);
+  Value v = a;
+  for (int i = 0; i < 5; ++i) v = b.bnot(v);
+  b.output(v, "o");
+  EXPECT_EQ(combinationalDepth(b.graph()), 6u);  // 5 nots + output marker
+}
+
+TEST(SerializeTest, RoundTrip) {
+  GraphBuilder b("rt");
+  Value a = b.input("a", 32, true);
+  Value c = b.constant(0x1234, 32);
+  Value s = b.ashr(a, 3, "shift");
+  Value m = b.mux(b.lt(a, c, true), s, c, "sel \"quoted\"");
+  Value ph = b.placeholder(32, "st");
+  Value nxt = b.add(m, Value{ph.id, 2});
+  b.bindPlaceholder(ph, nxt);
+  b.output(nxt, "out");
+  const Graph g = compact(b.graph());
+
+  std::stringstream ss;
+  writeText(ss, g);
+  std::string error;
+  const auto back = readText(ss, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->size(), g.size());
+  EXPECT_EQ(back->name(), g.name());
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const Node& x = g.node(id);
+    const Node& y = back->node(id);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.width, y.width);
+    EXPECT_EQ(x.isSigned, y.isSigned);
+    EXPECT_EQ(x.attr0, y.attr0);
+    EXPECT_EQ(x.constValue, y.constValue);
+    EXPECT_EQ(x.operands, y.operands);
+    EXPECT_EQ(x.name, y.name);
+  }
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream ss("not a graph");
+  std::string error;
+  EXPECT_FALSE(readText(ss, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, RejectsTruncated) {
+  GraphBuilder b("t");
+  b.output(b.input("a", 4), "o");
+  std::stringstream ss;
+  writeText(ss, b.graph());
+  std::string text = ss.str();
+  text.resize(text.size() - 5);  // chop "end\n"
+  std::stringstream in(text);
+  EXPECT_FALSE(readText(in).has_value());
+}
+
+TEST(DotTest, EmitsNodesAndEdges) {
+  std::stringstream ss;
+  writeDot(ss, simpleXorChain());
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("xor"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(BuilderTest, ConstantMasksToWidth) {
+  GraphBuilder b("c");
+  Value c = b.constant(0xFFFF, 8);
+  EXPECT_EQ(b.graph().node(c.id).constValue, 0xFFu);
+  Value c64 = b.constant(~0ull, 64);
+  EXPECT_EQ(b.graph().node(c64.id).constValue, ~0ull);
+}
+
+TEST(BuilderTest, CompareProducesOneBit) {
+  GraphBuilder b("cmp");
+  Value a = b.input("a", 32);
+  Value c = b.input("c", 32);
+  EXPECT_EQ(b.width(b.lt(a, c, false)), 1);
+  EXPECT_EQ(b.width(b.eq(a, c)), 1);
+}
+
+TEST(BuilderTest, ConcatAndSliceWidths) {
+  GraphBuilder b("cs");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 24);
+  Value cc = b.concat(a, c);
+  EXPECT_EQ(b.width(cc), 32);
+  EXPECT_EQ(b.width(b.slice(cc, 4, 9)), 9);
+  EXPECT_EQ(b.width(b.bit(cc, 31)), 1);
+}
+
+}  // namespace
+}  // namespace lamp::ir

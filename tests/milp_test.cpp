@@ -1,0 +1,227 @@
+// Tests for the branch & bound MILP solver: knapsacks with known optima,
+// infeasible integer systems, SOS1 branching, incumbent warm starts,
+// time-limit behaviour, and randomized cross-checks against brute-force
+// enumeration over binary variables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "lp/milp.h"
+
+namespace lamp::lp {
+namespace {
+
+TEST(MilpTest, SmallKnapsack) {
+  // max 5a + 4b + 3c s.t. 2a + 3b + c <= 5  (binary) => min negated.
+  // Best: a=1, c=1, b=1 -> weight 6 > 5; a=1,b=1 -> 5 w=5 -> value 9;
+  // a=1,c=1 w=3 value 8; a+b = 9 is optimal? a=1,b=1,c=0: w=5 ok, v=9.
+  // a=1,b=0,c=1: v=8. So optimum 9.
+  Model m;
+  const Var a = m.addBinary("a");
+  const Var b = m.addBinary("b");
+  const Var c = m.addBinary("c");
+  m.addConstraint(
+      LinExpr::term(a, 2.0).add(b, 3.0).add(c, 1.0), Sense::Le, 5.0);
+  m.setObjective(LinExpr::term(a, -5.0).add(b, -4.0).add(c, -3.0));
+  MilpSolver solver(m);
+  const Solution s = solver.solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -9.0, 1e-6);
+  EXPECT_TRUE(m.checkFeasible(s.values).empty());
+}
+
+TEST(MilpTest, IntegerRounding) {
+  // min -x s.t. 2x <= 7, x integer in [0, 10] -> x = 3.
+  Model m;
+  const Var x = m.addVar(0, 10, VarType::Integer, "x");
+  m.addConstraint(LinExpr::term(x, 2.0), Sense::Le, 7.0);
+  m.setObjective(LinExpr::term(x, -1.0));
+  const Solution s = MilpSolver(m).solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[0], 3.0, 1e-9);
+}
+
+TEST(MilpTest, InfeasibleIntegerSystem) {
+  // 2x + 2y = 3 has no integer solution but a fractional one.
+  Model m;
+  const Var x = m.addVar(0, 5, VarType::Integer, "x");
+  const Var y = m.addVar(0, 5, VarType::Integer, "y");
+  m.addConstraint(LinExpr::term(x, 2.0).add(y, 2.0), Sense::Eq, 3.0);
+  const Solution s = MilpSolver(m).solve();
+  EXPECT_EQ(s.status, SolveStatus::Infeasible);
+}
+
+TEST(MilpTest, MixedIntegerContinuous) {
+  // min y s.t. y >= 1.5 - x, y >= x - 1.5, x binary, y continuous.
+  // For either x, |1.5 - x| is minimized at x=1 -> y = 0.5.
+  Model m;
+  const Var x = m.addBinary("x");
+  const Var y = m.addContinuous(0, 10, "y");
+  m.addConstraint(LinExpr::term(y, 1.0).add(x, 1.0), Sense::Ge, 1.5);
+  m.addConstraint(LinExpr::term(y, 1.0).add(x, -1.0), Sense::Ge, -1.5);
+  m.setObjective(LinExpr::term(y, 1.0));
+  const Solution s = MilpSolver(m).solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 0.5, 1e-6);
+  EXPECT_NEAR(s.values[x], 1.0, 1e-6);
+}
+
+TEST(MilpTest, OneHotAssignmentWithSos1) {
+  // Three tasks, one-hot over 4 slots each; task i prefers slot i with
+  // decreasing reward; tasks must occupy distinct slots.
+  Model m;
+  std::vector<std::vector<Var>> s(3);
+  LinExpr obj;
+  for (int i = 0; i < 3; ++i) {
+    LinExpr onehot;
+    for (int t = 0; t < 4; ++t) {
+      const Var v = m.addBinary("s" + std::to_string(i) + "_" +
+                                std::to_string(t));
+      s[i].push_back(v);
+      onehot.add(v, 1.0);
+      obj.add(v, std::abs(i - t));  // cost grows away from preferred slot
+    }
+    m.addConstraint(onehot, Sense::Eq, 1.0);
+  }
+  for (int t = 0; t < 4; ++t) {
+    LinExpr cap;
+    for (int i = 0; i < 3; ++i) cap.add(s[i][t], 1.0);
+    m.addConstraint(cap, Sense::Le, 1.0);
+  }
+  m.setObjective(obj);
+  MilpSolver solver(m);
+  for (int i = 0; i < 3; ++i) {
+    solver.addSos1Group(s[i], {0.0, 1.0, 2.0, 3.0});
+  }
+  const Solution sol = solver.solve();
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-6);  // everyone gets the preferred slot
+}
+
+TEST(MilpTest, InitialIncumbentAccepted) {
+  Model m;
+  const Var x = m.addBinary("x");
+  const Var y = m.addBinary("y");
+  m.addConstraint(LinExpr::term(x, 1.0).add(y, 1.0), Sense::Le, 1.0);
+  m.setObjective(LinExpr::term(x, -2.0).add(y, -1.0));
+  MilpSolver solver(m);
+  solver.setInitialIncumbent({0.0, 1.0});  // feasible, objective -1
+  const Solution s = solver.solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-6);  // improved over the warm start
+}
+
+TEST(MilpTest, BogusIncumbentIgnored) {
+  Model m;
+  const Var x = m.addBinary("x");
+  m.addConstraint(LinExpr::term(x, 1.0), Sense::Le, 0.0);
+  m.setObjective(LinExpr::term(x, 1.0));
+  MilpSolver solver(m);
+  solver.setInitialIncumbent({1.0});  // violates the row
+  const Solution s = solver.solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[0], 0.0, 1e-9);
+}
+
+TEST(MilpTest, NodeLimitReturnsIncumbentAsFeasible) {
+  Model m;
+  std::vector<Var> vars;
+  LinExpr cap, obj;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> d(1.0, 10.0);
+  for (int i = 0; i < 25; ++i) {
+    const Var v = m.addBinary();
+    vars.push_back(v);
+    cap.add(v, d(rng));
+    obj.add(v, -d(rng));
+  }
+  m.addConstraint(cap, Sense::Le, 40.0);
+  m.setObjective(obj);
+  MilpOptions opts;
+  opts.maxNodes = 3;
+  MilpSolver solver(m, opts);
+  std::vector<double> zero(m.numVars(), 0.0);
+  solver.setInitialIncumbent(zero);
+  const Solution s = solver.solve();
+  EXPECT_EQ(s.status, SolveStatus::Feasible);
+  EXPECT_TRUE(m.checkFeasible(s.values).empty());
+}
+
+TEST(MilpTest, IncumbentCallbackFires) {
+  Model m;
+  const Var x = m.addBinary("x");
+  m.setObjective(LinExpr::term(x, -1.0));
+  MilpOptions opts;
+  int calls = 0;
+  opts.onIncumbent = [&](double, const std::vector<double>&) { ++calls; };
+  const Solution s = MilpSolver(m, opts).solve();
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_GE(calls, 1);
+}
+
+// --- randomized cross-check against brute force ---------------------------
+
+class MilpRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MilpRandomTest, MatchesBruteForceOnBinaryPrograms) {
+  std::mt19937 rng(GetParam() * 104729u);
+  std::uniform_int_distribution<int> nDist(3, 10), mDist(1, 5);
+  std::uniform_real_distribution<double> cDist(-4.0, 4.0);
+  const int n = nDist(rng), rows = mDist(rng);
+
+  Model m;
+  for (int j = 0; j < n; ++j) m.addBinary();
+  std::vector<std::vector<double>> A(rows, std::vector<double>(n));
+  std::vector<double> b(rows);
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) {
+      A[i][j] = cDist(rng);
+      e.add(j, A[i][j]);
+    }
+    b[i] = cDist(rng) + 1.0;
+    m.addConstraint(e, Sense::Le, b[i]);
+  }
+  std::vector<double> c(n);
+  LinExpr obj;
+  for (int j = 0; j < n; ++j) {
+    c[j] = cDist(rng);
+    obj.add(j, c[j]);
+  }
+  m.setObjective(obj);
+
+  // Brute force over all 2^n assignments.
+  double bestBrute = kInf;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (int i = 0; i < rows && ok; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1u << j)) lhs += A[i][j];
+      }
+      ok = lhs <= b[i] + 1e-12;
+    }
+    if (!ok) continue;
+    double val = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) val += c[j];
+    }
+    bestBrute = std::min(bestBrute, val);
+  }
+
+  const Solution s = MilpSolver(m).solve();
+  if (bestBrute == kInf) {
+    EXPECT_EQ(s.status, SolveStatus::Infeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << "seed " << GetParam();
+    EXPECT_NEAR(s.objective, bestBrute, 1e-6) << "seed " << GetParam();
+    EXPECT_TRUE(m.checkFeasible(s.values).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandomTest, ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace lamp::lp

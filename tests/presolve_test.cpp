@@ -1,0 +1,125 @@
+// Tests for the shape-preserving MILP presolve: bound propagation with
+// integral rounding, redundant/singleton row handling, infeasibility
+// detection, and the soundness contract (integer-feasible points survive;
+// MILP optima are unchanged with presolve on or off).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/milp.h"
+#include "lp/presolve.h"
+
+namespace lamp::lp {
+namespace {
+
+TEST(PresolveTest, SingletonRowsBecomeBounds) {
+  Model m;
+  const Var x = m.addContinuous(0, 10, "x");
+  m.addConstraint(LinExpr::term(x, 2.0), Sense::Le, 6.0);   // x <= 3
+  m.addConstraint(LinExpr::term(x, -1.0), Sense::Le, -1.0); // x >= 1
+  PresolveStats st;
+  const Model r = presolve(m, &st);
+  EXPECT_EQ(r.numConstraints(), 0u);
+  EXPECT_NEAR(r.lowerBound(x), 1.0, 1e-9);
+  EXPECT_NEAR(r.upperBound(x), 3.0, 1e-9);
+  EXPECT_EQ(st.singletonRows, 2);
+}
+
+TEST(PresolveTest, IntegerRounding) {
+  Model m;
+  const Var x = m.addVar(0, 10, VarType::Integer, "x");
+  m.addConstraint(LinExpr::term(x, 2.0), Sense::Le, 7.0);  // x <= 3.5 -> 3
+  const Model r = presolve(m);
+  EXPECT_NEAR(r.upperBound(x), 3.0, 1e-9);
+}
+
+TEST(PresolveTest, PropagatesThroughRows) {
+  // x + y <= 3 with y >= 2 forces x <= 1.
+  Model m;
+  const Var x = m.addContinuous(0, 10, "x");
+  const Var y = m.addContinuous(2, 10, "y");
+  m.addConstraint(LinExpr::term(x, 1.0).add(y, 1.0), Sense::Le, 3.0);
+  const Model r = presolve(m);
+  EXPECT_NEAR(r.upperBound(x), 1.0, 1e-9);
+  EXPECT_NEAR(r.upperBound(y), 3.0, 1e-9);
+}
+
+TEST(PresolveTest, DropsRedundantRows) {
+  Model m;
+  const Var x = m.addBinary("x");
+  const Var y = m.addBinary("y");
+  m.addConstraint(LinExpr::term(x, 1.0).add(y, 1.0), Sense::Le, 5.0);  // slack
+  PresolveStats st;
+  const Model r = presolve(m, &st);
+  EXPECT_EQ(r.numConstraints(), 0u);
+  EXPECT_EQ(st.rowsDropped, 1);
+}
+
+TEST(PresolveTest, DetectsInfeasibility) {
+  Model m;
+  const Var x = m.addBinary("x");
+  const Var y = m.addBinary("y");
+  m.addConstraint(LinExpr::term(x, 1.0).add(y, 1.0), Sense::Ge, 3.0);
+  PresolveStats st;
+  (void)presolve(m, &st);
+  EXPECT_TRUE(st.infeasible);
+}
+
+TEST(PresolveTest, EqualitySingletonFixesVariable) {
+  Model m;
+  const Var x = m.addContinuous(0, 10, "x");
+  const Var y = m.addContinuous(0, 10, "y");
+  m.addConstraint(LinExpr::term(x, 2.0), Sense::Eq, 6.0);
+  m.addConstraint(LinExpr::term(x, 1.0).add(y, 1.0), Sense::Le, 4.0);
+  const Model r = presolve(m);
+  EXPECT_NEAR(r.lowerBound(x), 3.0, 1e-9);
+  EXPECT_NEAR(r.upperBound(x), 3.0, 1e-9);
+  EXPECT_NEAR(r.upperBound(y), 1.0, 1e-9);  // propagated through row 2
+}
+
+TEST(PresolveTest, KeepsVariableIndexing) {
+  Model m;
+  for (int i = 0; i < 5; ++i) m.addBinary("b" + std::to_string(i));
+  m.addConstraint(LinExpr::term(0, 1.0).add(4, 1.0), Sense::Le, 1.0);
+  const Model r = presolve(m);
+  ASSERT_EQ(r.numVars(), m.numVars());
+  for (Var v = 0; v < 5; ++v) EXPECT_EQ(r.varName(v), m.varName(v));
+}
+
+// Soundness: presolve must never change the MILP optimum.
+class PresolveEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PresolveEquivalenceTest, OptimumUnchanged) {
+  std::mt19937 rng(GetParam() * 48271u + 3);
+  std::uniform_int_distribution<int> nDist(3, 9), mDist(1, 5);
+  std::uniform_real_distribution<double> cDist(-4.0, 4.0);
+  const int n = nDist(rng), rows = mDist(rng);
+  Model m;
+  for (int j = 0; j < n; ++j) m.addBinary();
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) e.add(j, cDist(rng));
+    m.addConstraint(e, Sense::Le, cDist(rng) + 1.5);
+  }
+  LinExpr obj;
+  for (int j = 0; j < n; ++j) obj.add(j, cDist(rng));
+  m.setObjective(obj);
+
+  MilpOptions with, without;
+  with.presolve = true;
+  without.presolve = false;
+  const Solution a = MilpSolver(m, with).solve();
+  const Solution b = MilpSolver(m, without).solve();
+  ASSERT_EQ(a.status, b.status) << "seed " << GetParam();
+  if (a.status == SolveStatus::Optimal) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << GetParam();
+    EXPECT_TRUE(m.checkFeasible(a.values).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceTest,
+                         ::testing::Range(1u, 31u));
+
+}  // namespace
+}  // namespace lamp::lp

@@ -1,0 +1,133 @@
+// Negative-path tests for the schedule validator: every constraint family
+// of Section 3.2 must be independently detectable. (Positive paths are
+// covered by the flow and scheduler suites.)
+
+#include <gtest/gtest.h>
+
+#include "cut/cut.h"
+#include "ir/builder.h"
+#include "sched/sdc.h"
+
+namespace lamp::sched {
+namespace {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+const DelayModel kDm;
+
+struct Fixture {
+  ir::Graph g;
+  cut::CutDatabase db;
+  Schedule s;
+  ResourceLimits res;
+};
+
+Fixture makeFixture() {
+  GraphBuilder b("fix");
+  Value a0 = b.input("a0", 10);
+  Value a1 = b.input("a1", 10);
+  Value l0 = b.load(ir::ResourceClass::MemPortA, a0, 16, "l0");
+  Value l1 = b.load(ir::ResourceClass::MemPortA, a1, 16, "l1");
+  Value m = b.mul(l0, l1, 16, "m");  // multi-cycle DSP
+  Value x = b.bxor(m, l0, "x");
+  b.output(x, "o");
+  Fixture f{b.take(), {}, {}, {}};
+  f.db = cut::trivialCuts(f.g);
+  f.res[ir::ResourceClass::MemPortA] = 2;
+  SdcOptions opts;
+  opts.resources = f.res;
+  const SdcResult r = sdcSchedule(f.g, f.db, kDm, opts);
+  EXPECT_TRUE(r.success) << r.error;
+  f.s = r.schedule;
+  return f;
+}
+
+std::string diagnose(const Fixture& f) {
+  const auto diag = validateSchedule({f.g, f.db, kDm, f.res}, f.s);
+  return diag.value_or("");
+}
+
+TEST(ValidatorNegativeTest, BaselineIsValid) {
+  Fixture f = makeFixture();
+  EXPECT_EQ(diagnose(f), "");
+}
+
+TEST(ValidatorNegativeTest, WrongVectorSizes) {
+  Fixture f = makeFixture();
+  f.s.cycle.pop_back();
+  EXPECT_NE(diagnose(f).find("graph size"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, BadIi) {
+  Fixture f = makeFixture();
+  f.s.ii = 0;
+  EXPECT_NE(diagnose(f).find("II"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, InputNotAtCycleZero) {
+  Fixture f = makeFixture();
+  f.s.cycle[f.g.inputs()[0]] = 1;
+  EXPECT_NE(diagnose(f).find("cycle 0"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, UnscheduledNode) {
+  Fixture f = makeFixture();
+  f.s.cycle[f.g.outputs()[0]] = kUnscheduled;
+  EXPECT_NE(diagnose(f).find("not scheduled"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, BlackBoxMustBeRoot) {
+  Fixture f = makeFixture();
+  for (ir::NodeId v = 0; v < f.g.size(); ++v) {
+    if (f.g.node(v).kind == ir::OpKind::Mul) f.s.selectedCut[v] = kAbsorbed;
+  }
+  EXPECT_NE(diagnose(f).find("must be roots"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, CutIndexOutOfRange) {
+  Fixture f = makeFixture();
+  for (ir::NodeId v = 0; v < f.g.size(); ++v) {
+    if (f.g.node(v).kind == ir::OpKind::Xor) f.s.selectedCut[v] = 99;
+  }
+  EXPECT_NE(diagnose(f).find("out of range"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, MultiCycleOpMustStartAtZeroNs) {
+  Fixture f = makeFixture();
+  for (ir::NodeId v = 0; v < f.g.size(); ++v) {
+    if (f.g.node(v).kind == ir::OpKind::Mul) f.s.startNs[v] = 3.0;
+  }
+  EXPECT_NE(diagnose(f).find("L=0"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, ResourceOverSubscription) {
+  Fixture f = makeFixture();
+  f.res[ir::ResourceClass::MemPortA] = 1;  // both loads share slot 0 at II=1
+  EXPECT_NE(diagnose(f).find("oversubscribed"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, DependenceViolationAcrossLatency) {
+  Fixture f = makeFixture();
+  // Consume the multiplier's result in its own start cycle.
+  ir::NodeId mul = ir::kNoNode, x = ir::kNoNode;
+  for (ir::NodeId v = 0; v < f.g.size(); ++v) {
+    if (f.g.node(v).kind == ir::OpKind::Mul) mul = v;
+    if (f.g.node(v).kind == ir::OpKind::Xor) x = v;
+  }
+  f.s.cycle[x] = f.s.cycle[mul];
+  EXPECT_NE(diagnose(f).find("dependence violated"), std::string::npos);
+}
+
+TEST(ValidatorNegativeTest, ExceedsClockPeriod) {
+  Fixture f = makeFixture();
+  for (ir::NodeId v = 0; v < f.g.size(); ++v) {
+    if (f.g.node(v).kind == ir::OpKind::Xor) {
+      f.s.startNs[v] = f.s.tcpNs - 0.1;  // no room for the LUT delay
+    }
+  }
+  EXPECT_NE(diagnose(f).find("clock period"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamp::sched

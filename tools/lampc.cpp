@@ -1,0 +1,318 @@
+// lampc — command-line driver for the lamp flows.
+//
+//   lampc [options] <input>
+//
+//   <input>                a .lamp graph file (ir::writeText format) or a
+//                          built-in benchmark name (CLZ, XORR, GFMUL,
+//                          CORDIC, MT, AES, RS, DR, GSM)
+//   --method=hls|base|map|greedy   scheduling arm (default map)
+//   --ii=N                 target initiation interval (default 1)
+//   --tcp=NS               target clock period in ns (default 10)
+//   --k=K                  LUT input count (default 4)
+//   --alpha=A --beta=B     objective weights (default 0.5 / 0.5)
+//   --time-limit=SEC       MILP wall-clock cap (default 20)
+//   --formulation=compact|literal
+//   --emit-verilog[=FILE]  print the scheduled pipeline as Verilog
+//   --emit-dot[=FILE]      print the CDFG in GraphViz format
+//   --emit-lp[=FILE]       dump the MILP in CPLEX LP format
+//   --emit-vcd[=FILE]      simulate 16 iterations and dump a VCD waveform
+//   --emit-schedule        print the per-node schedule
+//   --export=FILE          write the (possibly folded) graph as .lamp text
+//   --fold                 run constant folding before scheduling
+//   --paper-scale          use paper-sized benchmark instances
+//   --quiet                suppress the summary report
+//
+// Exit code 0 on success, 1 on any failure.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "flow/flow.h"
+#include "ir/passes.h"
+#include "lp/model.h"
+#include "map/area.h"
+#include "rtl/verilog.h"
+#include "sim/vcd.h"
+#include "sched/greedy.h"
+
+using namespace lamp;
+
+namespace {
+
+struct Args {
+  std::string input;
+  std::string method = "map";
+  int ii = 1;
+  double tcp = 10.0;
+  int k = 4;
+  double alpha = 0.5, beta = 0.5;
+  double timeLimit = 20.0;
+  std::string formulation = "compact";
+  std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd;
+  std::optional<std::string> exportGraph;
+  bool emitSchedule = false;
+  bool fold = false;
+  bool paperScale = false;
+  bool quiet = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
+  const auto valueOf = [](const std::string& s) {
+    const auto eq = s.find('=');
+    return eq == std::string::npos ? std::string() : s.substr(eq + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--method=", 0) == 0) {
+      a.method = valueOf(s);
+    } else if (s.rfind("--ii=", 0) == 0) {
+      a.ii = std::stoi(valueOf(s));
+    } else if (s.rfind("--tcp=", 0) == 0) {
+      a.tcp = std::stod(valueOf(s));
+    } else if (s.rfind("--k=", 0) == 0) {
+      a.k = std::stoi(valueOf(s));
+    } else if (s.rfind("--alpha=", 0) == 0) {
+      a.alpha = std::stod(valueOf(s));
+    } else if (s.rfind("--beta=", 0) == 0) {
+      a.beta = std::stod(valueOf(s));
+    } else if (s.rfind("--time-limit=", 0) == 0) {
+      a.timeLimit = std::stod(valueOf(s));
+    } else if (s.rfind("--formulation=", 0) == 0) {
+      a.formulation = valueOf(s);
+    } else if (s == "--emit-verilog" || s.rfind("--emit-verilog=", 0) == 0) {
+      a.emitVerilog = valueOf(s);
+    } else if (s == "--emit-dot" || s.rfind("--emit-dot=", 0) == 0) {
+      a.emitDot = valueOf(s);
+    } else if (s == "--emit-lp" || s.rfind("--emit-lp=", 0) == 0) {
+      a.emitLp = valueOf(s);
+    } else if (s == "--emit-vcd" || s.rfind("--emit-vcd=", 0) == 0) {
+      a.emitVcd = valueOf(s);
+    } else if (s == "--emit-schedule") {
+      a.emitSchedule = true;
+    } else if (s == "--fold") {
+      a.fold = true;
+    } else if (s.rfind("--export=", 0) == 0) {
+      a.exportGraph = valueOf(s);
+    } else if (s == "--paper-scale") {
+      a.paperScale = true;
+    } else if (s == "--quiet") {
+      a.quiet = true;
+    } else if (s.rfind("--", 0) == 0) {
+      err = "unknown option " + s;
+      return false;
+    } else if (a.input.empty()) {
+      a.input = s;
+    } else {
+      err = "multiple inputs given";
+      return false;
+    }
+  }
+  if (a.input.empty()) {
+    err = "no input; pass a benchmark name or a .lamp graph file";
+    return false;
+  }
+  return true;
+}
+
+std::optional<workloads::Benchmark> loadInput(const Args& a,
+                                              std::string& err) {
+  const auto scale = a.paperScale ? workloads::Scale::Paper
+                                  : workloads::Scale::Default;
+  for (auto& bm : workloads::allBenchmarks(scale)) {
+    if (bm.name == a.input) return std::move(bm);
+  }
+  std::ifstream in(a.input);
+  if (!in) {
+    err = "'" + a.input + "' is neither a benchmark name nor a readable file";
+    return std::nullopt;
+  }
+  auto g = ir::readText(in, &err);
+  if (!g) {
+    err = "parse error in " + a.input + ": " + err;
+    return std::nullopt;
+  }
+  workloads::Benchmark bm;
+  bm.name = g->name();
+  bm.domain = "User";
+  bm.description = a.input;
+  bm.graph = std::move(*g);
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + iter;
+    for (const ir::NodeId id : ins) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[id] = state >> 13;
+    }
+    return f;
+  };
+  return bm;
+}
+
+void writeTo(const std::optional<std::string>& path,
+             const std::function<void(std::ostream&)>& fn) {
+  if (path.has_value() && !path->empty()) {
+    std::ofstream out(*path);
+    fn(out);
+  } else {
+    fn(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  std::string err;
+  if (!parseArgs(argc, argv, a, err)) {
+    std::cerr << "lampc: " << err << "\n";
+    return 1;
+  }
+  auto bm = loadInput(a, err);
+  if (!bm) {
+    std::cerr << "lampc: " << err << "\n";
+    return 1;
+  }
+
+  if (a.fold) {
+    ir::FoldStats st;
+    const std::size_t beforeNodes = bm->graph.size();
+    bm->graph = ir::foldConstants(bm->graph, &st);
+    // Input ids may shift; regenerate the frame maker over the new ids.
+    const std::vector<ir::NodeId> ins = bm->graph.inputs();
+    bm->makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+      sim::InputFrame f;
+      std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + iter;
+      for (const ir::NodeId id : ins) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        f[id] = state >> 13;
+      }
+      return f;
+    };
+    if (!a.quiet) {
+      std::cerr << "fold: " << beforeNodes << " -> " << bm->graph.size()
+                << " nodes (" << st.folded << " folded, " << st.forwarded
+                << " forwarded)\n";
+    }
+  }
+
+  if (a.exportGraph) {
+    writeTo(a.exportGraph,
+            [&](std::ostream& os) { ir::writeText(os, bm->graph); });
+  }
+
+  if (a.emitDot) {
+    writeTo(a.emitDot, [&](std::ostream& os) { ir::writeDot(os, bm->graph); });
+    if (a.method.empty()) return 0;
+  }
+
+  flow::FlowOptions opts;
+  opts.ii = a.ii;
+  opts.tcpNs = a.tcp;
+  opts.alpha = a.alpha;
+  opts.beta = a.beta;
+  opts.cuts.k = a.k;
+  opts.solverTimeLimitSeconds = a.timeLimit;
+
+  flow::FlowResult result;
+  if (a.method == "hls") {
+    result = flow::runFlow(*bm, flow::Method::HlsTool, opts);
+  } else if (a.method == "base") {
+    result = flow::runFlow(*bm, flow::Method::MilpBase, opts);
+  } else if (a.method == "map") {
+    result = flow::runFlow(*bm, flow::Method::MilpMap, opts);
+  } else if (a.method == "greedy") {
+    const auto db = cut::enumerateCuts(bm->graph, opts.cuts);
+    sched::SdcOptions go;
+    go.tcpNs = a.tcp;
+    go.resources = bm->resources;
+    sched::SdcResult r;
+    for (go.ii = a.ii; go.ii <= a.ii + 8; ++go.ii) {
+      r = sched::greedyMapSchedule(bm->graph, db, opts.delays, go);
+      if (r.success) break;
+    }
+    if (!r.success) {
+      std::cerr << "lampc: greedy scheduling failed: " << r.error << "\n";
+      return 1;
+    }
+    result.success = true;
+    result.method = flow::Method::MilpMap;
+    result.schedule = r.schedule;
+    result.area = map::evaluate(bm->graph, r.schedule, opts.delays);
+  } else {
+    std::cerr << "lampc: unknown method '" << a.method << "'\n";
+    return 1;
+  }
+
+  if (!result.success) {
+    std::cerr << "lampc: flow failed: " << result.error << "\n";
+    return 1;
+  }
+
+  if (!a.quiet) {
+    std::cout << bm->name << ": " << bm->graph.size() << " nodes, method "
+              << a.method << ", II=" << result.schedule.ii << "\n"
+              << "  LUTs " << result.area.luts << ", FFs " << result.area.ffs
+              << ", stages " << result.area.stages << ", CP "
+              << result.area.cpNs << " ns\n";
+    std::cout << map::timingSummary(result.area, opts.tcpNs);
+  }
+  if (a.emitSchedule) {
+    for (ir::NodeId v = 0; v < bm->graph.size(); ++v) {
+      const ir::Node& n = bm->graph.node(v);
+      if (n.kind == ir::OpKind::Const) continue;
+      std::cout << "  n" << v << " " << ir::opKindName(n.kind)
+                << (n.name.empty() ? "" : " '" + n.name + "'") << " @ cycle "
+                << result.schedule.cycle[v]
+                << (result.schedule.isRoot(v) ? " [root]" : "") << "\n";
+    }
+  }
+  if (a.emitVcd) {
+    std::vector<sim::InputFrame> frames;
+    for (std::uint64_t k = 0; k < 16; ++k) frames.push_back(bm->makeInputs(k, 1));
+    sim::Memory mem;
+    if (bm->initMemory) bm->initMemory(mem);
+    std::string vcdErr;
+    bool ok = true;
+    writeTo(a.emitVcd, [&](std::ostream& os) {
+      ok = sim::writeVcd(os, bm->graph, result.schedule, opts.delays, frames,
+                         &mem, {}, &vcdErr);
+    });
+    if (!ok) {
+      std::cerr << "lampc: VCD emission failed: " << vcdErr << "\n";
+      return 1;
+    }
+  }
+  if (a.emitVerilog) {
+    writeTo(a.emitVerilog, [&](std::ostream& os) {
+      rtl::emitVerilog(os, bm->graph, result.schedule, opts.delays);
+    });
+  }
+  if (a.emitLp) {
+    // Rebuild the model with a dump hook (solve is cut short).
+    const auto db = a.method == "base"
+                        ? cut::trivialCuts(bm->graph, opts.cuts)
+                        : cut::enumerateCuts(bm->graph, opts.cuts);
+    sched::MilpSchedOptions mo;
+    mo.ii = result.schedule.ii;
+    mo.tcpNs = a.tcp;
+    mo.alpha = a.alpha;
+    mo.beta = a.beta;
+    mo.maxLatency = result.schedule.latency(bm->graph) + 1;
+    mo.formulation = a.formulation == "literal"
+                         ? sched::Formulation::Literal
+                         : sched::Formulation::Compact;
+    mo.resources = bm->resources;
+    mo.solver.timeLimitSeconds = 0.1;
+    mo.solver.maxNodes = 1;
+    writeTo(a.emitLp, [&](std::ostream& os) {
+      sched::MilpSchedOptions dumped = mo;
+      dumped.dumpModel = &os;
+      (void)sched::milpSchedule(bm->graph, db, opts.delays, dumped);
+    });
+  }
+  return 0;
+}
