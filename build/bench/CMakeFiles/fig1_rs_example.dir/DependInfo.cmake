@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_rs_example.cpp" "bench/CMakeFiles/fig1_rs_example.dir/fig1_rs_example.cpp.o" "gcc" "bench/CMakeFiles/fig1_rs_example.dir/fig1_rs_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/lamp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/lamp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/lamp_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lamp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lamp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cut/CMakeFiles/lamp_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lamp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cut_enum.dir/fig2_cut_enum.cpp.o"
+  "CMakeFiles/fig2_cut_enum.dir/fig2_cut_enum.cpp.o.d"
+  "fig2_cut_enum"
+  "fig2_cut_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cut_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cutenum.dir/micro_cutenum.cpp.o"
+  "CMakeFiles/micro_cutenum.dir/micro_cutenum.cpp.o.d"
+  "micro_cutenum"
+  "micro_cutenum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cutenum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

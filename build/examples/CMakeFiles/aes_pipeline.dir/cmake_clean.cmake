@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_pipeline.dir/aes_pipeline.cpp.o"
+  "CMakeFiles/aes_pipeline.dir/aes_pipeline.cpp.o.d"
+  "aes_pipeline"
+  "aes_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

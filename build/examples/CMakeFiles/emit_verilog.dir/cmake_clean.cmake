@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_verilog.dir/emit_verilog.cpp.o"
+  "CMakeFiles/emit_verilog.dir/emit_verilog.cpp.o.d"
+  "emit_verilog"
+  "emit_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

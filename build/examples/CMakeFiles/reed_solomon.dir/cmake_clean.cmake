@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reed_solomon.dir/reed_solomon.cpp.o"
+  "CMakeFiles/reed_solomon.dir/reed_solomon.cpp.o.d"
+  "reed_solomon"
+  "reed_solomon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reed_solomon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

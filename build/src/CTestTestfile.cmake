@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ir")
+subdirs("lp")
+subdirs("cut")
+subdirs("sched")
+subdirs("map")
+subdirs("sim")
+subdirs("workloads")
+subdirs("flow")
+subdirs("report")
+subdirs("rtl")

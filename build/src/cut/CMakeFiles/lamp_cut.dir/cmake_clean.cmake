@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_cut.dir/dep.cpp.o"
+  "CMakeFiles/lamp_cut.dir/dep.cpp.o.d"
+  "CMakeFiles/lamp_cut.dir/enumerate.cpp.o"
+  "CMakeFiles/lamp_cut.dir/enumerate.cpp.o.d"
+  "liblamp_cut.a"
+  "liblamp_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

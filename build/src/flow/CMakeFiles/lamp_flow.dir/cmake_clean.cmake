@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_flow.dir/flow.cpp.o"
+  "CMakeFiles/lamp_flow.dir/flow.cpp.o.d"
+  "liblamp_flow.a"
+  "liblamp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/lamp_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/eval.cpp" "src/ir/CMakeFiles/lamp_ir.dir/eval.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/eval.cpp.o.d"
+  "/root/repo/src/ir/fold.cpp" "src/ir/CMakeFiles/lamp_ir.dir/fold.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/fold.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/ir/CMakeFiles/lamp_ir.dir/graph.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/graph.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/lamp_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/passes.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/ir/CMakeFiles/lamp_ir.dir/serialize.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/serialize.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/ir/CMakeFiles/lamp_ir.dir/verify.cpp.o" "gcc" "src/ir/CMakeFiles/lamp_ir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_ir.dir/builder.cpp.o"
+  "CMakeFiles/lamp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/eval.cpp.o"
+  "CMakeFiles/lamp_ir.dir/eval.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/fold.cpp.o"
+  "CMakeFiles/lamp_ir.dir/fold.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/graph.cpp.o"
+  "CMakeFiles/lamp_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/passes.cpp.o"
+  "CMakeFiles/lamp_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/serialize.cpp.o"
+  "CMakeFiles/lamp_ir.dir/serialize.cpp.o.d"
+  "CMakeFiles/lamp_ir.dir/verify.cpp.o"
+  "CMakeFiles/lamp_ir.dir/verify.cpp.o.d"
+  "liblamp_ir.a"
+  "liblamp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_lp.dir/milp.cpp.o"
+  "CMakeFiles/lamp_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/lamp_lp.dir/model.cpp.o"
+  "CMakeFiles/lamp_lp.dir/model.cpp.o.d"
+  "CMakeFiles/lamp_lp.dir/presolve.cpp.o"
+  "CMakeFiles/lamp_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/lamp_lp.dir/simplex.cpp.o"
+  "CMakeFiles/lamp_lp.dir/simplex.cpp.o.d"
+  "liblamp_lp.a"
+  "liblamp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_map.dir/area.cpp.o"
+  "CMakeFiles/lamp_map.dir/area.cpp.o.d"
+  "liblamp_map.a"
+  "liblamp_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

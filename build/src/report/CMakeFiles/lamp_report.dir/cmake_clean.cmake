@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_report.dir/table.cpp.o"
+  "CMakeFiles/lamp_report.dir/table.cpp.o.d"
+  "liblamp_report.a"
+  "liblamp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

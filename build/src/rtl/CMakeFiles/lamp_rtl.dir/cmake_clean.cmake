@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/lamp_rtl.dir/verilog.cpp.o.d"
+  "liblamp_rtl.a"
+  "liblamp_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/delay_model.cpp" "src/sched/CMakeFiles/lamp_sched.dir/delay_model.cpp.o" "gcc" "src/sched/CMakeFiles/lamp_sched.dir/delay_model.cpp.o.d"
+  "/root/repo/src/sched/greedy.cpp" "src/sched/CMakeFiles/lamp_sched.dir/greedy.cpp.o" "gcc" "src/sched/CMakeFiles/lamp_sched.dir/greedy.cpp.o.d"
+  "/root/repo/src/sched/milp_sched.cpp" "src/sched/CMakeFiles/lamp_sched.dir/milp_sched.cpp.o" "gcc" "src/sched/CMakeFiles/lamp_sched.dir/milp_sched.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/lamp_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/lamp_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/sdc.cpp" "src/sched/CMakeFiles/lamp_sched.dir/sdc.cpp.o" "gcc" "src/sched/CMakeFiles/lamp_sched.dir/sdc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lamp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cut/CMakeFiles/lamp_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

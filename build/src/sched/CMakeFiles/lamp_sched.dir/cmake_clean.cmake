@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_sched.dir/delay_model.cpp.o"
+  "CMakeFiles/lamp_sched.dir/delay_model.cpp.o.d"
+  "CMakeFiles/lamp_sched.dir/greedy.cpp.o"
+  "CMakeFiles/lamp_sched.dir/greedy.cpp.o.d"
+  "CMakeFiles/lamp_sched.dir/milp_sched.cpp.o"
+  "CMakeFiles/lamp_sched.dir/milp_sched.cpp.o.d"
+  "CMakeFiles/lamp_sched.dir/schedule.cpp.o"
+  "CMakeFiles/lamp_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/lamp_sched.dir/sdc.cpp.o"
+  "CMakeFiles/lamp_sched.dir/sdc.cpp.o.d"
+  "liblamp_sched.a"
+  "liblamp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_sim.dir/interp.cpp.o"
+  "CMakeFiles/lamp_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/lamp_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/lamp_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/lamp_sim.dir/vcd.cpp.o"
+  "CMakeFiles/lamp_sim.dir/vcd.cpp.o.d"
+  "liblamp_sim.a"
+  "liblamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aes.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/aes.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/aes.cpp.o.d"
+  "/root/repo/src/workloads/clz.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/clz.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/clz.cpp.o.d"
+  "/root/repo/src/workloads/cordic.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/cordic.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/cordic.cpp.o.d"
+  "/root/repo/src/workloads/dr.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/dr.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/dr.cpp.o.d"
+  "/root/repo/src/workloads/gfmul.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/gfmul.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/gfmul.cpp.o.d"
+  "/root/repo/src/workloads/golden.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/golden.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/golden.cpp.o.d"
+  "/root/repo/src/workloads/gsm.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/gsm.cpp.o.d"
+  "/root/repo/src/workloads/mt.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/mt.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/mt.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/rs.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/rs.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/rs.cpp.o.d"
+  "/root/repo/src/workloads/xorr.cpp" "src/workloads/CMakeFiles/lamp_workloads.dir/xorr.cpp.o" "gcc" "src/workloads/CMakeFiles/lamp_workloads.dir/xorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lamp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lamp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cut/CMakeFiles/lamp_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_workloads.dir/aes.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/aes.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/clz.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/clz.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/cordic.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/cordic.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/dr.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/dr.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/gfmul.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/gfmul.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/golden.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/golden.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/gsm.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/gsm.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/mt.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/mt.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/registry.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/rs.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/rs.cpp.o.d"
+  "CMakeFiles/lamp_workloads.dir/xorr.cpp.o"
+  "CMakeFiles/lamp_workloads.dir/xorr.cpp.o.d"
+  "liblamp_workloads.a"
+  "liblamp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_semantics_test.dir/cut_semantics_test.cpp.o"
+  "CMakeFiles/cut_semantics_test.dir/cut_semantics_test.cpp.o.d"
+  "cut_semantics_test"
+  "cut_semantics_test.pdb"
+  "cut_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_test.dir/cut_test.cpp.o"
+  "CMakeFiles/cut_test.dir/cut_test.cpp.o.d"
+  "cut_test"
+  "cut_test.pdb"
+  "cut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/formulation_test.cpp" "tests/CMakeFiles/formulation_test.dir/formulation_test.cpp.o" "gcc" "tests/CMakeFiles/formulation_test.dir/formulation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lamp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cut/CMakeFiles/lamp_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lamp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formulation_test.dir/formulation_test.cpp.o"
+  "CMakeFiles/formulation_test.dir/formulation_test.cpp.o.d"
+  "formulation_test"
+  "formulation_test.pdb"
+  "formulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lampc.dir/lampc.cpp.o"
+  "CMakeFiles/lampc.dir/lampc.cpp.o.d"
+  "lampc"
+  "lampc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lampc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

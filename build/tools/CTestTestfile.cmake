@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lampc_benchmark_greedy "/root/repo/build/tools/lampc" "GFMUL" "--method=greedy" "--quiet")
+set_tests_properties(lampc_benchmark_greedy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lampc_benchmark_hls_verilog "/root/repo/build/tools/lampc" "RS" "--method=hls" "--emit-verilog" "--quiet")
+set_tests_properties(lampc_benchmark_hls_verilog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lampc_graph_file "/root/repo/build/tools/lampc" "/root/repo/examples/data/parity.lamp" "--method=map" "--time-limit=5" "--emit-schedule")
+set_tests_properties(lampc_graph_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lampc_rejects_garbage "/root/repo/build/tools/lampc" "no_such_input_anywhere" "--method=map")
+set_tests_properties(lampc_rejects_garbage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
