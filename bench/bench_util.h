@@ -8,6 +8,10 @@
 ///   LAMP_TIME_LIMIT=<sec>   MILP wall-clock cap per instance
 ///   LAMP_FILTER=CLZ,RS      restrict to a comma-separated benchmark list
 ///   LAMP_CSV=1              CSV instead of aligned tables
+///   LAMP_JOBS=<n>           concurrent (benchmark x method) flow jobs
+///                           (default: one per hardware thread, capped)
+///   LAMP_THREADS=<n>        branch & bound threads per MILP solve when
+///                           jobs run one at a time (0 = auto)
 
 #include <cstdlib>
 #include <string>
@@ -32,6 +36,16 @@ inline double envTimeLimit(double fallback) {
 inline bool envCsv() {
   const char* s = std::getenv("LAMP_CSV");
   return s != nullptr && std::string(s) == "1";
+}
+
+inline int envJobs() {
+  const char* s = std::getenv("LAMP_JOBS");
+  return s != nullptr ? std::atoi(s) : 0;  // 0 = pool default
+}
+
+inline int envThreads(int fallback) {
+  const char* s = std::getenv("LAMP_THREADS");
+  return s != nullptr ? std::atoi(s) : fallback;
 }
 
 inline std::vector<workloads::Benchmark> selectedBenchmarks(

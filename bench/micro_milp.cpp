@@ -1,0 +1,149 @@
+// Microbenchmark for the parallel branch & bound solver: times the RS and
+// AES modulo-scheduling MILPs (Table 2-class instances) at 1/2/4/8 worker
+// threads and writes machine-readable results to BENCH_milp.json with the
+// schema {bench, threads, wall_s, nodes, speedup} (plus objective/status
+// for auditability), so successive PRs can track the perf trajectory.
+//
+// The solves run *without* the SDC warm start the experiment flows pass:
+// every configuration has to discover its own incumbents, which is
+// precisely where the parallel search's diversification (idle workers
+// steal shallow siblings instead of following the serial dive) pays off —
+// earlier incumbents prune subtrees the serial dive wastes time in, so
+// wall-clock can drop even on a single core.
+//
+// Knobs: LAMP_SCALE, LAMP_TIME_LIMIT (cap per solve, default 60 s),
+// LAMP_FILTER (restrict benchmarks), LAMP_CSV.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cut/cut.h"
+#include "report/table.h"
+#include "sched/milp_sched.h"
+#include "sched/sdc.h"
+
+using namespace lamp;
+
+namespace {
+
+struct Row {
+  std::string bench;
+  int threads = 1;
+  double wallSeconds = 0.0;
+  std::int64_t nodes = 0;
+  double speedup = 1.0;
+  double objective = 0.0;
+  std::string status;
+};
+
+void writeJson(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"threads\": " << r.threads
+        << ", \"wall_s\": " << r.wallSeconds << ", \"nodes\": " << r.nodes
+        << ", \"speedup\": " << r.speedup << ", \"objective\": " << r.objective
+        << ", \"status\": \"" << r.status << "\"}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::envScale();
+  const double timeLimit = bench::envTimeLimit(60.0);
+  const int threadCounts[] = {1, 2, 4, 8};
+
+  // RS and AES by default (the Table 2 designs whose solves dominate);
+  // LAMP_FILTER widens or narrows the set.
+  std::vector<workloads::Benchmark> benchmarks;
+  const bool filtered = std::getenv("LAMP_FILTER") != nullptr;
+  for (auto& bm : bench::selectedBenchmarks(scale)) {
+    if (filtered || bm.name == "RS" || bm.name == "AES") {
+      benchmarks.push_back(std::move(bm));
+    }
+  }
+
+  sched::DelayModel delays;
+  cut::CutEnumOptions cutOpts;
+  report::Table table({"Bench", "Threads", "Wall(s)", "Nodes", "Speedup",
+                       "Objective", "Status"});
+  std::vector<Row> rows;
+
+  for (const auto& bm : benchmarks) {
+    const cut::CutDatabase mapDb = cut::enumerateCuts(bm.graph, cutOpts);
+    const cut::CutDatabase trivial = cut::trivialCuts(bm.graph, cutOpts);
+
+    // SDC pass for the latency bound only (its schedule is NOT used as a
+    // warm start here — see the file comment).
+    sched::SdcOptions sdcOpts;
+    sdcOpts.resources = bm.resources;
+    sched::SdcResult sdc;
+    for (sdcOpts.ii = 1; sdcOpts.ii <= 8; ++sdcOpts.ii) {
+      sdc = sched::sdcSchedule(bm.graph, trivial, delays, sdcOpts);
+      if (sdc.success) break;
+    }
+    if (!sdc.success) {
+      std::cerr << "[micro_milp] " << bm.name
+                << ": SDC baseline failed, skipping\n";
+      continue;
+    }
+
+    // Both Table 2 arms: the mapping-agnostic MILP (trivial cuts) and the
+    // mapping-aware MILP (enumerated cuts).
+    const struct {
+      const char* suffix;
+      const cut::CutDatabase* db;
+    } arms[] = {{"-base", &trivial}, {"-map", &mapDb}};
+
+    for (const auto& arm : arms) {
+      sched::MilpSchedOptions mo;
+      mo.ii = sdc.schedule.ii;
+      mo.maxLatency = sdc.schedule.latency(bm.graph) + 1;
+      mo.resources = bm.resources;
+      mo.solver.timeLimitSeconds = timeLimit;
+      mo.warmStart = nullptr;
+
+      const std::string name = bm.name + arm.suffix;
+      double serialWall = 0.0;
+      for (const int threads : threadCounts) {
+        std::cerr << "[micro_milp] " << name << " @ " << threads
+                  << " thread(s)...\n";
+        mo.solver.threads = threads;
+        const sched::MilpSchedResult r =
+            sched::milpSchedule(bm.graph, *arm.db, delays, mo);
+        Row row;
+        row.bench = name;
+        row.threads = threads;
+        row.wallSeconds = r.solveSeconds;
+        row.nodes = r.branchNodes;
+        row.objective = r.objective;
+        row.status = std::string(lp::solveStatusName(r.status));
+        if (threads == 1) serialWall = r.solveSeconds;
+        row.speedup = row.wallSeconds > 0 ? serialWall / row.wallSeconds : 1.0;
+        rows.push_back(row);
+        table.addRow({row.bench, std::to_string(row.threads),
+                      report::fixed(row.wallSeconds, 3),
+                      std::to_string(row.nodes), report::fixed(row.speedup, 2),
+                      report::fixed(row.objective, 4), row.status});
+      }
+      table.addRule();
+    }
+  }
+
+  if (bench::envCsv()) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  writeJson("BENCH_milp.json", rows);
+  std::cout << "\nWrote BENCH_milp.json (" << rows.size() << " rows)\n";
+  return 0;
+}

@@ -14,6 +14,7 @@ int main() {
   const auto scale = bench::envScale();
   flow::FlowOptions opts;
   opts.solverTimeLimitSeconds = bench::envTimeLimit(20.0);
+  opts.solverThreads = bench::envThreads(1);
 
   report::Table table({"Design", "Domain", "Method", "CP(ns)", "LUT", "LUT%",
                        "FF", "FF%", "Stages", "Status"});
@@ -24,13 +25,34 @@ int main() {
     int designs = 0;
   } kernels, apps;
 
+  // Every (benchmark, method) pair is independent: fan the whole grid out
+  // on the flow job pool and assemble rows from the ordered results.
+  const std::vector<workloads::Benchmark> benchmarks =
+      bench::selectedBenchmarks(scale);
+  const flow::Method methods[3] = {flow::Method::HlsTool,
+                                   flow::Method::MilpBase,
+                                   flow::Method::MilpMap};
+  std::vector<flow::FlowJob> jobs;
+  for (const auto& bm : benchmarks) {
+    for (const flow::Method m : methods) jobs.push_back({&bm, m});
+  }
+  std::cerr << "[table1] running " << benchmarks.size()
+            << " benchmarks x 3 methods (LAMP_JOBS="
+            << (bench::envJobs() > 0 ? std::to_string(bench::envJobs())
+                                     : std::string("auto"))
+            << ")...\n";
+  const std::vector<flow::FlowResult> all =
+      flow::runFlowJobs(jobs, opts, bench::envJobs());
+
   bool first = true;
-  for (const auto& bm : bench::selectedBenchmarks(scale)) {
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    const auto& bm = benchmarks[b];
     if (!first) table.addRule();
     first = false;
-    std::cerr << "[table1] running " << bm.name << " (" << bm.graph.size()
-              << " nodes)...\n";
-    const flow::BenchmarkResults r = flow::runAllMethods(bm, opts);
+    flow::BenchmarkResults r;
+    r.hls = all[b * 3 + 0];
+    r.milpBase = all[b * 3 + 1];
+    r.milpMap = all[b * 3 + 2];
     const flow::FlowResult* rows[3] = {&r.hls, &r.milpBase, &r.milpMap};
     for (const flow::FlowResult* f : rows) {
       if (!f->success) {

@@ -17,17 +17,35 @@ int main() {
   flow::FlowOptions opts;
   opts.solverTimeLimitSeconds = bench::envTimeLimit(20.0);
   opts.verifyFrames = 0;  // Table 2 measures solver runtime only
+  opts.solverThreads = bench::envThreads(1);
 
   report::Table table({"Design", "CDFG Nodes", "Cuts", "MILP vars",
                        "MILP rows", "MILP-base (s)", "MILP-map (s)",
                        "base status", "map status"});
 
+  // The base and map arms of every benchmark are independent solver runs:
+  // run the whole (benchmark x method) grid on the flow job pool.
+  const std::vector<workloads::Benchmark> benchmarks =
+      bench::selectedBenchmarks(scale);
+  std::vector<flow::FlowJob> jobs;
+  for (const auto& bm : benchmarks) {
+    jobs.push_back({&bm, flow::Method::MilpBase});
+    jobs.push_back({&bm, flow::Method::MilpMap});
+  }
+  std::cerr << "[table2] running " << benchmarks.size()
+            << " benchmarks x 2 MILP arms (LAMP_JOBS="
+            << (bench::envJobs() > 0 ? std::to_string(bench::envJobs())
+                                     : std::string("auto"))
+            << ")...\n";
+  const std::vector<flow::FlowResult> all =
+      flow::runFlowJobs(jobs, opts, bench::envJobs());
+
   double sumBase = 0, sumMap = 0, sumNodes = 0;
   int count = 0;
-  for (const auto& bm : bench::selectedBenchmarks(scale)) {
-    std::cerr << "[table2] running " << bm.name << "...\n";
-    const flow::FlowResult base = flow::runFlow(bm, flow::Method::MilpBase, opts);
-    const flow::FlowResult mapr = flow::runFlow(bm, flow::Method::MilpMap, opts);
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    const auto& bm = benchmarks[b];
+    const flow::FlowResult& base = all[b * 2 + 0];
+    const flow::FlowResult& mapr = all[b * 2 + 1];
     table.addRow({bm.name, std::to_string(bm.graph.size()),
                   std::to_string(mapr.numCuts), std::to_string(mapr.numVars),
                   std::to_string(mapr.numConstraints),

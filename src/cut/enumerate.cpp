@@ -18,14 +18,38 @@ using ir::OpKind;
 
 namespace {
 
-void unionInto(SupportSet& dst, const SupportSet& add) {
-  if (add.empty()) return;
-  SupportSet merged;
-  merged.reserve(dst.size() + add.size());
-  std::merge(dst.begin(), dst.end(), add.begin(), add.end(),
-             std::back_inserter(merged));
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-  dst = std::move(merged);
+/// Sorted-set union dst ∪= add, merging into `scratch` (a reusable buffer
+/// that keeps its capacity across calls, so the per-bit hot loop of
+/// compose() stops allocating). Abandons the merge and returns false the
+/// moment the union exceeds `cap` elements — a doomed bit need not finish
+/// merging. `cap < 0` disables the limit.
+bool unionIntoCapped(SupportSet& dst, const SupportSet& add,
+                     SupportSet& scratch, int cap) {
+  if (add.empty()) {
+    return cap < 0 || static_cast<int>(dst.size()) <= cap;
+  }
+  if (dst.empty()) {
+    dst = add;
+    return cap < 0 || static_cast<int>(dst.size()) <= cap;
+  }
+  scratch.clear();
+  const std::size_t limit =
+      cap < 0 ? dst.size() + add.size() : static_cast<std::size_t>(cap);
+  auto a = dst.begin();
+  auto b = add.begin();
+  while (a != dst.end() || b != add.end()) {
+    BitKey next;
+    if (b == add.end() || (a != dst.end() && *a < *b)) {
+      next = *a++;
+    } else {
+      if (a != dst.end() && *a == *b) ++a;
+      next = *b++;
+    }
+    if (scratch.size() >= limit && cap >= 0) return false;  // early exit
+    scratch.push_back(next);
+  }
+  dst.swap(scratch);
+  return true;
 }
 
 void insertSorted(std::vector<CutElement>& v, CutElement e) {
@@ -83,6 +107,10 @@ struct Enumerator {
   const CutEnumOptions& opts;
   std::vector<CutSet> cutsOf;
   std::size_t visits = 0;
+  /// Merge buffer reused by every unionIntoCapped call in compose(); its
+  /// capacity survives across bits and nodes, so the hot loop allocates
+  /// only when a support outgrows every earlier one.
+  mutable SupportSet scratch;
 
   explicit Enumerator(const Graph& graph, const CutEnumOptions& options)
       : g(graph), opts(options), cutsOf(graph.size()) {}
@@ -115,16 +143,22 @@ struct Enumerator {
       for (const DepBit& d : deps) {
         const Edge& e = n.operands[d.operandIndex];
         if (choice[d.operandIndex] == nullptr) {
-          // Boundary bit of the fanin itself.
+          // Boundary bit of the fanin itself: a single sorted insert, no
+          // temporary set.
+          SupportSet& sup = out.bitSupport[j];
           const BitKey key = makeBitKey(e.src, e.dist, d.bit);
-          unionInto(out.bitSupport[j], SupportSet{key});
+          const auto it = std::lower_bound(sup.begin(), sup.end(), key);
+          if (it == sup.end() || *it != key) sup.insert(it, key);
+          if (static_cast<int>(sup.size()) > opts.k) return false;
         } else {
           const Cut& c = *choice[d.operandIndex];
-          unionInto(out.bitSupport[j], c.bitSupport[d.bit]);
+          if (!unionIntoCapped(out.bitSupport[j], c.bitSupport[d.bit],
+                               scratch, opts.k)) {
+            return false;  // support already exceeds K: cut is infeasible
+          }
           if (!c.bitIsWire[d.bit]) wireBit = false;
         }
       }
-      if (static_cast<int>(out.bitSupport[j].size()) > opts.k) return false;
       out.bitIsWire[j] = wireBit;
       out.maxSupport = std::max(out.maxSupport,
                                 static_cast<int>(out.bitSupport[j].size()));

@@ -4,6 +4,7 @@
 #include "sched/greedy.h"
 #include "sched/schedule.h"
 #include "sim/pipeline_sim.h"
+#include "util/thread_pool.h"
 
 namespace lamp::flow {
 
@@ -143,6 +144,7 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
   mo.maxLatency = sdc.schedule.latency(bm.graph) + opts.latencyMargin;
   mo.resources = bm.resources;
   mo.solver.timeLimitSeconds = opts.solverTimeLimitSeconds;
+  mo.solver.threads = opts.solverThreads;
   mo.warmStart = &sdc.schedule;
   mo.warmStartSelectsCuts = baselineIsGreedy;
 
@@ -227,6 +229,28 @@ BenchmarkResults runAllMethods(const Benchmark& bm, const FlowOptions& opts) {
   r.milpBase = runFlow(bm, Method::MilpBase, opts);
   r.milpMap = runFlow(bm, Method::MilpMap, opts);
   return r;
+}
+
+std::vector<FlowResult> runFlowJobs(const std::vector<FlowJob>& jobs,
+                                    const FlowOptions& opts, int workers) {
+  std::vector<FlowResult> results(jobs.size());
+  const int n = workers > 0 ? workers : util::ThreadPool::defaultThreads();
+  if (n <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = runFlow(*jobs[i].benchmark, jobs[i].method, opts);
+    }
+    return results;
+  }
+  FlowOptions jobOpts = opts;
+  jobOpts.solverThreads = 1;  // job-level parallelism owns the cores
+  util::ThreadPool pool(n);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&, i] {
+      results[i] = runFlow(*jobs[i].benchmark, jobs[i].method, jobOpts);
+    });
+  }
+  pool.wait();
+  return results;
 }
 
 }  // namespace lamp::flow

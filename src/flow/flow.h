@@ -42,6 +42,11 @@ struct FlowOptions {
   /// this many random input frames (0 disables).
   int verifyFrames = 8;
   std::uint32_t verifySeed = 1;
+  /// Branch & bound worker threads per MILP solve
+  /// (lp::MilpOptions::threads; 0 = auto). Defaults to serial so
+  /// experiment flows stay reproducible run to run; lampc --threads and
+  /// the LAMP_THREADS bench knob opt in to the parallel solver.
+  int solverThreads = 1;
 };
 
 struct FlowResult {
@@ -79,6 +84,23 @@ struct BenchmarkResults {
 
 BenchmarkResults runAllMethods(const workloads::Benchmark& bm,
                                const FlowOptions& opts = {});
+
+/// One (benchmark, method) unit for the concurrent experiment harness.
+/// The benchmark must outlive the runFlowJobs call.
+struct FlowJob {
+  const workloads::Benchmark* benchmark = nullptr;
+  Method method = Method::HlsTool;
+};
+
+/// Runs independent flow jobs on a util::ThreadPool (`workers <= 0`
+/// selects one per hardware thread, capped). Results return in input
+/// order. Jobs share nothing, so any interleaving gives the same results
+/// as the serial loop. When more than one worker runs, each job's solver
+/// is forced to solverThreads == 1: the job-level parallelism already
+/// saturates the machine, and nested solver threads would oversubscribe.
+std::vector<FlowResult> runFlowJobs(const std::vector<FlowJob>& jobs,
+                                    const FlowOptions& opts = {},
+                                    int workers = 0);
 
 }  // namespace lamp::flow
 

@@ -1,11 +1,19 @@
 #include "lp/milp.h"
 
 #include "lp/presolve.h"
+#include "util/timer.h"
+#include "util/work_deque.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
 
 namespace lamp::lp {
 
@@ -13,6 +21,9 @@ namespace {
 
 /// One open branch & bound node: bound overrides relative to the root,
 /// stored as a chain of single changes to keep memory linear in depth.
+/// Chains are shared across workers after a steal; shared_ptr's atomic
+/// control block makes that safe, and the payload is immutable once
+/// published.
 struct BoundChange {
   Var var = kNoVar;
   double lb = 0.0;
@@ -25,6 +36,485 @@ struct NodeRec {
   double parentBound = -kInf;  ///< LP bound of the parent (pruning key)
   int depth = 0;
 };
+
+int resolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(hw, 1, 8);
+}
+
+/// Read-only search context shared by the serial loop and every worker.
+struct SearchCtx {
+  const Model& model;  ///< original model: integrality, SOS membership
+  const Model& work;   ///< presolved model whose relaxations are solved
+  const MilpOptions& opts;
+  const std::vector<std::vector<Var>>& sosVars;
+  const std::vector<std::vector<double>>& sosPos;
+  std::vector<std::int32_t> sosOf;  ///< var -> SOS group or -1
+  std::vector<double> rootLb, rootUb;
+};
+
+enum class NodeOutcome {
+  Done,     ///< node fathomed or branched
+  LpLimit,  ///< the LP hit its own limit: its bound cannot be trusted
+};
+
+/// Expands one open node: solves the relaxation, fathoms by bound /
+/// integrality, or branches (SOS1 split first, 0/1 otherwise). Children
+/// are emitted through `pushChild` with the dive side pushed LAST, so a
+/// LIFO consumer explores it first — the historical serial order.
+/// `incumbentObj` returns (hasIncumbent, objective) for pruning;
+/// `commitIncumbent(obj, x)` publishes an integral point (it re-checks
+/// improvement itself). The body is a faithful transliteration of the
+/// original serial solver, so a single-threaded caller reproduces it node
+/// for node.
+///
+/// `useLpCutoff` arms the LP with the incumbent as a dual-objective
+/// cutoff: the dual simplex raises a valid lower bound monotonically, so
+/// it can stop the moment the bound proves the node prunable instead of
+/// grinding through the (heavily degenerate) plateau at the LP optimum.
+/// Only the parallel path sets it — the serial path must stay node- and
+/// pivot-identical to the historical solver.
+template <typename PushChild, typename IncumbentObj, typename CommitIncumbent>
+NodeOutcome expandNode(const SearchCtx& ctx, IncrementalSimplex& lpSolver,
+                       const NodeRec& node, std::vector<double>& lb,
+                       std::vector<double>& ub, double remainingSeconds,
+                       bool useLpCutoff, std::int64_t& simplexIterations,
+                       PushChild&& pushChild, IncumbentObj&& incumbentObj,
+                       CommitIncumbent&& commitIncumbent) {
+  const std::size_t n = ctx.work.numVars();
+
+  // Materialize bounds for this node.
+  lb = ctx.rootLb;
+  ub = ctx.rootUb;
+  for (const BoundChange* ch = node.changes.get(); ch != nullptr;
+       ch = ch->parent.get()) {
+    lb[ch->var] = std::max(lb[ch->var], ch->lb);
+    ub[ch->var] = std::min(ub[ch->var], ch->ub);
+  }
+
+  if (useLpCutoff) {
+    const auto [hasIncumbent, bestObj] = incumbentObj();
+    lpSolver.setObjectiveCutoff(hasIncumbent ? bestObj - ctx.opts.absGapTol
+                                             : kInf);
+  }
+  lpSolver.setTimeLimit(std::max(0.1, remainingSeconds));
+  const SimplexResult lp = lpSolver.solve(lb, ub);
+  simplexIterations += lp.iterations;
+  if (lp.status == SolveStatus::Infeasible) return NodeOutcome::Done;
+  if (lp.status == SolveStatus::Cutoff) {
+    // The dual bound alone proved the node can't beat the incumbent.
+    return NodeOutcome::Done;
+  }
+  if (lp.status != SolveStatus::Optimal) {
+    // LP hit its own limit or failed: can't trust a bound here.
+    return NodeOutcome::LpLimit;
+  }
+  {
+    const auto [hasIncumbent, bestObj] = incumbentObj();
+    if (hasIncumbent && lp.objective >= bestObj - ctx.opts.absGapTol) {
+      return NodeOutcome::Done;
+    }
+  }
+
+  // Find the most fractional integer variable, preferring SOS groups.
+  Var fracVar = kNoVar;
+  double fracScore = ctx.opts.intTol;
+  std::int32_t fracGroup = -1;
+  for (Var v = 0; v < static_cast<Var>(n); ++v) {
+    if (!ctx.model.isIntegerType(v)) continue;
+    const double x = lp.x[v];
+    const double f = std::abs(x - std::round(x));
+    if (f > fracScore) {
+      fracScore = f;
+      fracVar = v;
+      fracGroup = ctx.sosOf[v];
+    }
+  }
+
+  if (fracVar == kNoVar) {
+    // Integral: new incumbent. Round int vars exactly before storing.
+    std::vector<double> x = lp.x;
+    for (Var v = 0; v < static_cast<Var>(n); ++v) {
+      if (ctx.model.isIntegerType(v)) x[v] = std::round(x[v]);
+    }
+    commitIncumbent(lp.objective, std::move(x));
+    return NodeOutcome::Done;
+  }
+
+  if (fracGroup >= 0) {
+    // SOS1 branch: split the group on the position axis around the
+    // LP-relaxation's barycenter.
+    const auto& vars = ctx.sosVars[fracGroup];
+    const auto& pos = ctx.sosPos[fracGroup];
+    double wsum = 0.0, psum = 0.0;
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+      const double xv = std::clamp(lp.x[vars[k]], 0.0, 1.0);
+      wsum += xv;
+      psum += xv * pos[k];
+    }
+    const double split = wsum > 0 ? psum / wsum : pos[pos.size() / 2];
+    // Members strictly above the split go to the "high" child; make sure
+    // both children exclude at least one *free* member.
+    std::vector<Var> lowSet, highSet;
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+      if (ub[vars[k]] < 0.5) continue;  // already excluded here
+      (pos[k] <= split ? lowSet : highSet).push_back(vars[k]);
+    }
+    if (!lowSet.empty() && !highSet.empty()) {
+      auto mkChild = [&](const std::vector<Var>& exclude) {
+        std::shared_ptr<const BoundChange> chain = node.changes;
+        for (const Var v : exclude) {
+          auto ch = std::make_shared<BoundChange>();
+          ch->var = v;
+          ch->lb = ctx.rootLb[v];
+          ch->ub = 0.0;
+          ch->parent = chain;
+          chain = std::move(ch);
+        }
+        pushChild(NodeRec{chain, lp.objective, node.depth + 1});
+      };
+      // Dive first into the side with more LP mass: push it last.
+      double lowMass = 0.0;
+      for (const Var v : lowSet) lowMass += lp.x[v];
+      if (lowMass >= wsum / 2) {
+        mkChild(lowSet);   // child allowing only high
+        mkChild(highSet);  // child allowing only low — explored first
+      } else {
+        mkChild(highSet);
+        mkChild(lowSet);
+      }
+      return NodeOutcome::Done;
+    }
+    // Degenerate group (all mass on one side): fall through to 0/1.
+  }
+
+  // Plain 0/1 (or integer floor/ceil) branching.
+  const double xv = lp.x[fracVar];
+  auto mkChild = [&](double clb, double cub) {
+    auto ch = std::make_shared<BoundChange>();
+    ch->var = fracVar;
+    ch->lb = clb;
+    ch->ub = cub;
+    ch->parent = node.changes;
+    pushChild(NodeRec{std::move(ch), lp.objective, node.depth + 1});
+  };
+  const double fl = std::floor(xv), ce = std::ceil(xv);
+  // Push the dive side last so DFS explores it first.
+  if ((xv - fl) > 0.5) {
+    mkChild(ctx.rootLb[fracVar], fl);
+    mkChild(ce, ctx.rootUb[fracVar]);
+  } else {
+    mkChild(ce, ctx.rootUb[fracVar]);
+    mkChild(ctx.rootLb[fracVar], fl);
+  }
+  return NodeOutcome::Done;
+}
+
+/// The historical depth-first serial solver (threads == 1): one stack,
+/// one incremental LP, node-for-node identical to the pre-parallel code.
+Solution solveSerial(const SearchCtx& ctx, Solution best,
+                     const util::Stopwatch& clock) {
+  const MilpOptions& opts = ctx.opts;
+  const std::size_t n = ctx.work.numVars();
+  IncrementalSimplex lpSolver(ctx.work, opts.lp);
+
+  std::vector<NodeRec> stack;
+  stack.push_back(NodeRec{});
+
+  std::vector<double> lb(n), ub(n);
+  bool exploredAll = true;
+
+  while (!stack.empty()) {
+    if (clock.seconds() > opts.timeLimitSeconds ||
+        best.branchNodes >= opts.maxNodes) {
+      exploredAll = false;
+      break;
+    }
+    NodeRec node = std::move(stack.back());
+    stack.pop_back();
+    ++best.branchNodes;
+
+    if (best.feasible() &&
+        node.parentBound >= best.objective - opts.absGapTol) {
+      continue;  // pruned by bound
+    }
+
+    const NodeOutcome outcome = expandNode(
+        ctx, lpSolver, node, lb, ub, opts.timeLimitSeconds - clock.seconds(),
+        /*useLpCutoff=*/false, best.simplexIterations,
+        [&](NodeRec child) { stack.push_back(std::move(child)); },
+        [&]() { return std::pair<bool, double>{best.feasible(), best.objective}; },
+        [&](double obj, std::vector<double> x) {
+          if (obj < best.objective - 1e-12) {
+            best.values = std::move(x);
+            best.objective = obj;
+            best.status = SolveStatus::Feasible;
+            if (opts.onIncumbent) opts.onIncumbent(best.objective, best.values);
+          }
+        });
+    if (outcome == NodeOutcome::LpLimit) exploredAll = false;
+  }
+
+  best.wallSeconds = clock.seconds();
+  best.dualPivots = lpSolver.dualPivots();
+  best.coldSolves = lpSolver.coldSolves();
+  for (const NodeRec& rec : stack) {
+    best.bestBound = best.bestBound == -kInf
+                         ? rec.parentBound
+                         : std::min(best.bestBound, rec.parentBound);
+  }
+  if (exploredAll && stack.empty()) {
+    best.status = best.feasible() ? SolveStatus::Optimal
+                                  : SolveStatus::Infeasible;
+    if (best.feasible()) best.bestBound = best.objective;
+  } else if (best.feasible()) {
+    best.status = SolveStatus::Feasible;
+  } else {
+    best.status = SolveStatus::NoSolution;
+  }
+  return best;
+}
+
+// --- parallel branch & bound -------------------------------------------------
+
+/// Incumbent record shared by all workers. Updates (and the user's
+/// onIncumbent callback) are serialized under `mu`; the objective is
+/// additionally mirrored into a relaxed atomic so the per-node pruning
+/// test costs one uncontended load. A stale snapshot only ever *delays* a
+/// prune by one node — it never prunes incorrectly, because the snapshot
+/// moves monotonically downward.
+struct SharedIncumbent {
+  std::mutex mu;
+  std::vector<double> values;
+  double objective = kInf;
+  bool feasible = false;
+  std::atomic<double> snapshot{kInf};
+};
+
+struct WorkerStats {
+  std::int64_t simplexIterations = 0;
+  std::int64_t dualPivots = 0;
+  std::int64_t coldSolves = 0;
+};
+
+struct ParallelState {
+  explicit ParallelState(int threads) : pools(threads) {}
+
+  /// One owner deque per worker: the owner dives LIFO (preserving the
+  /// serial dive-first order inside its subtree), idle workers steal the
+  /// oldest — shallowest — node from a victim, which spreads the search
+  /// across distant subtrees instead of racing down one dive path.
+  std::vector<util::WorkDeque<NodeRec>> pools;
+  SharedIncumbent inc;
+  /// Nodes pushed but not yet fully expanded (counts in-flight nodes, so
+  /// zero really means "tree exhausted", not "queues momentarily empty").
+  std::atomic<std::int64_t> openNodes{0};
+  std::atomic<std::int64_t> branchNodes{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> exploredAll{true};
+  std::mutex idleMu;
+  std::condition_variable idleCv;
+
+  /// Workers currently holding stolen work, and the cap on them.
+  /// Speculative exploration is only free when it runs on otherwise-idle
+  /// hardware: with more workers than cores they just time-slice the
+  /// dives and inflate the tree (expansions that better incumbents would
+  /// have pruned). So at most (cores - 1) workers hold stolen subtrees at
+  /// a time — the rest idle until a token frees up. The cap is soft (a
+  /// race can overshoot by one briefly), which is harmless.
+  std::atomic<int> explorers{0};
+  int explorerCap = 1;
+};
+
+void workerMain(const SearchCtx& ctx, ParallelState& st,
+                const util::Stopwatch& clock, int wid, WorkerStats& stats) {
+  // Each worker owns its incremental LP: the dual warm start is only
+  // valid within one thread's sequence of bound changes.
+  IncrementalSimplex lpSolver(ctx.work, ctx.opts.lp);
+  const std::size_t n = ctx.work.numVars();
+  std::vector<double> lb(n), ub(n);
+  util::WorkDeque<NodeRec>& mine = st.pools[wid];
+  const int nw = static_cast<int>(st.pools.size());
+
+  const auto nodeScore = [](const NodeRec& rec) { return rec.parentBound; };
+  // True while this worker's open subtree came from a steal; it holds one
+  // of the explorer tokens until that subtree is exhausted.
+  bool holdingToken = false;
+  const auto nextNode = [&]() -> std::optional<NodeRec> {
+    if (auto node = mine.popBottom()) return node;
+    if (holdingToken) {
+      // Stolen subtree exhausted: hand the token to the next explorer.
+      holdingToken = false;
+      st.explorers.fetch_sub(1, std::memory_order_relaxed);
+    }
+    // Incumbent-gated stealing: until a first incumbent exists there is
+    // nothing to prune or cut off with, so a stolen dive only duplicates
+    // cold LP work and — on a loaded machine — starves the primary dive
+    // of the cycles it needs to reach feasibility at all. Let the worker
+    // holding the root dive exactly like the serial solver; everyone
+    // else waits for the first incumbent before spreading out.
+    if (st.inc.snapshot.load(std::memory_order_relaxed) >= kInf) {
+      return std::nullopt;
+    }
+    if (st.explorers.fetch_add(1, std::memory_order_relaxed) >=
+        st.explorerCap) {
+      st.explorers.fetch_sub(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    // Steal the globally most promising open node (lowest LP bound): the
+    // thief restarts a dive from the subtree most likely to hold the
+    // optimum. This makes idle workers best-first explorers while owners
+    // stay depth-first divers — the portfolio that finds strong
+    // incumbents early and keeps the proof tree small.
+    int victim = -1;
+    double best = kInf;
+    for (int k = 1; k < nw; ++k) {
+      const int v = (wid + k) % nw;
+      if (const auto s = st.pools[v].peekBestScore(nodeScore);
+          s.has_value() && *s < best) {
+        best = *s;
+        victim = v;
+      }
+    }
+    if (victim >= 0) {
+      if (auto node = st.pools[victim].stealBest(nodeScore)) {
+        holdingToken = true;
+        return node;
+      }
+      // Lost the race to another thief: fall back to any available node.
+      for (int k = 1; k < nw; ++k) {
+        if (auto node = st.pools[(wid + k) % nw].stealTop()) {
+          holdingToken = true;
+          return node;
+        }
+      }
+    }
+    st.explorers.fetch_sub(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  while (!st.stop.load(std::memory_order_relaxed)) {
+    if (clock.seconds() > ctx.opts.timeLimitSeconds ||
+        st.branchNodes.load(std::memory_order_relaxed) >= ctx.opts.maxNodes) {
+      st.exploredAll.store(false, std::memory_order_relaxed);
+      st.stop.store(true, std::memory_order_relaxed);
+      st.idleCv.notify_all();
+      break;
+    }
+    std::optional<NodeRec> node = nextNode();
+    if (!node.has_value()) {
+      if (st.openNodes.load(std::memory_order_acquire) == 0) break;
+      // Brief timed wait instead of a bare condition: a missed notify can
+      // only cost one tick, which keeps termination reasoning trivial.
+      std::unique_lock<std::mutex> lock(st.idleMu);
+      st.idleCv.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    st.branchNodes.fetch_add(1, std::memory_order_relaxed);
+
+    const double bestObj = st.inc.snapshot.load(std::memory_order_relaxed);
+    const bool pruned =
+        bestObj < kInf && node->parentBound >= bestObj - ctx.opts.absGapTol;
+    if (!pruned) {
+      const NodeOutcome outcome = expandNode(
+          ctx, lpSolver, *node, lb, ub,
+          ctx.opts.timeLimitSeconds - clock.seconds(),
+          /*useLpCutoff=*/true, stats.simplexIterations,
+          [&](NodeRec child) {
+            st.openNodes.fetch_add(1, std::memory_order_release);
+            mine.pushBottom(std::move(child));
+            st.idleCv.notify_one();
+          },
+          [&]() {
+            const double obj =
+                st.inc.snapshot.load(std::memory_order_relaxed);
+            return std::pair<bool, double>{obj < kInf, obj};
+          },
+          [&](double obj, std::vector<double> x) {
+            std::lock_guard<std::mutex> lock(st.inc.mu);
+            if (obj < st.inc.objective - 1e-12) {
+              st.inc.values = std::move(x);
+              st.inc.objective = obj;
+              st.inc.feasible = true;
+              st.inc.snapshot.store(obj, std::memory_order_relaxed);
+              if (ctx.opts.onIncumbent) {
+                ctx.opts.onIncumbent(obj, st.inc.values);
+              }
+            }
+          });
+      if (outcome == NodeOutcome::LpLimit) {
+        st.exploredAll.store(false, std::memory_order_relaxed);
+      }
+    }
+    // The node (and its just-pushed children) are accounted before this
+    // decrement, so openNodes can only reach zero when the tree is done.
+    if (st.openNodes.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      st.idleCv.notify_all();
+    }
+  }
+
+  stats.dualPivots = lpSolver.dualPivots();
+  stats.coldSolves = lpSolver.coldSolves();
+}
+
+Solution solveParallel(const SearchCtx& ctx, Solution best,
+                       const util::Stopwatch& clock, int threads) {
+  ParallelState st(threads);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  st.explorerCap = std::max(1, hw - 1);
+  if (best.feasible()) {
+    st.inc.values = best.values;
+    st.inc.objective = best.objective;
+    st.inc.feasible = true;
+    st.inc.snapshot.store(best.objective, std::memory_order_relaxed);
+  }
+  st.openNodes.store(1, std::memory_order_relaxed);
+  st.pools[0].pushBottom(NodeRec{});
+
+  std::vector<WorkerStats> stats(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&ctx, &st, &clock, w, &stats] {
+      workerMain(ctx, st, clock, w, stats[w]);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  best.branchNodes += st.branchNodes.load(std::memory_order_relaxed);
+  for (const WorkerStats& ws : stats) {
+    best.simplexIterations += ws.simplexIterations;
+    best.dualPivots += ws.dualPivots;
+    best.coldSolves += ws.coldSolves;
+  }
+  if (st.inc.feasible) {
+    best.values = std::move(st.inc.values);
+    best.objective = st.inc.objective;
+    best.status = SolveStatus::Feasible;
+  }
+
+  bool anyLeft = false;
+  for (util::WorkDeque<NodeRec>& pool : st.pools) {
+    for (const NodeRec& rec : pool.drain()) {
+      anyLeft = true;
+      best.bestBound = best.bestBound == -kInf
+                           ? rec.parentBound
+                           : std::min(best.bestBound, rec.parentBound);
+    }
+  }
+  best.wallSeconds = clock.seconds();
+  if (st.exploredAll.load(std::memory_order_relaxed) && !anyLeft) {
+    best.status = best.feasible() ? SolveStatus::Optimal
+                                  : SolveStatus::Infeasible;
+    if (best.feasible()) best.bestBound = best.objective;
+  } else if (best.feasible()) {
+    best.status = SolveStatus::Feasible;
+  } else {
+    best.status = SolveStatus::NoSolution;
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -42,11 +532,7 @@ void MilpSolver::setInitialIncumbent(std::vector<double> x) {
 }
 
 Solution MilpSolver::solve() {
-  using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
-  const auto elapsed = [&] {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  };
+  util::Stopwatch clock;
 
   Solution best;
   best.status = SolveStatus::NoSolution;
@@ -70,185 +556,29 @@ Solution MilpSolver::solve() {
   if (preStats.infeasible) {
     best.status = best.feasible() ? SolveStatus::Optimal
                                   : SolveStatus::Infeasible;
-    best.wallSeconds = elapsed();
+    best.wallSeconds = clock.seconds();
     return best;
   }
 
   const std::size_t n = work.numVars();
-  std::vector<double> rootLb(n), rootUb(n);
+  SearchCtx ctx{model_, work,  opts_, sosVars_,
+                sosPos_, {},    {},    {}};
+  ctx.rootLb.resize(n);
+  ctx.rootUb.resize(n);
   for (Var v = 0; v < static_cast<Var>(n); ++v) {
-    rootLb[v] = work.lowerBound(v);
-    rootUb[v] = work.upperBound(v);
+    ctx.rootLb[v] = work.lowerBound(v);
+    ctx.rootUb[v] = work.upperBound(v);
   }
-
-  SimplexOptions lpOpts = opts_.lp;
-  IncrementalSimplex lpSolver(work, lpOpts);
 
   // Map each variable to its SOS group, if any.
-  std::vector<std::int32_t> sosOf(n, -1);
+  ctx.sosOf.assign(n, -1);
   for (std::size_t g = 0; g < sosVars_.size(); ++g) {
-    for (const Var v : sosVars_[g]) sosOf[v] = static_cast<std::int32_t>(g);
+    for (const Var v : sosVars_[g]) ctx.sosOf[v] = static_cast<std::int32_t>(g);
   }
 
-  std::vector<NodeRec> stack;
-  stack.push_back(NodeRec{});
-
-  std::vector<double> lb(n), ub(n);
-  bool exploredAll = true;
-
-  while (!stack.empty()) {
-    if (elapsed() > opts_.timeLimitSeconds ||
-        best.branchNodes >= opts_.maxNodes) {
-      exploredAll = false;
-      break;
-    }
-    NodeRec node = std::move(stack.back());
-    stack.pop_back();
-    ++best.branchNodes;
-
-    if (best.feasible() &&
-        node.parentBound >= best.objective - opts_.absGapTol) {
-      continue;  // pruned by bound
-    }
-
-    // Materialize bounds for this node.
-    lb = rootLb;
-    ub = rootUb;
-    for (const BoundChange* ch = node.changes.get(); ch != nullptr;
-         ch = ch->parent.get()) {
-      lb[ch->var] = std::max(lb[ch->var], ch->lb);
-      ub[ch->var] = std::min(ub[ch->var], ch->ub);
-    }
-
-    lpSolver.setTimeLimit(std::max(0.1, opts_.timeLimitSeconds - elapsed()));
-    const SimplexResult lp = lpSolver.solve(lb, ub);
-    best.simplexIterations += lp.iterations;
-    if (lp.status == SolveStatus::Infeasible) continue;
-    if (lp.status != SolveStatus::Optimal) {
-      // LP hit its own limit or failed: can't trust a bound here.
-      exploredAll = false;
-      continue;
-    }
-    if (best.feasible() && lp.objective >= best.objective - opts_.absGapTol) {
-      continue;
-    }
-
-    // Find the most fractional integer variable, preferring SOS groups.
-    Var fracVar = kNoVar;
-    double fracScore = opts_.intTol;
-    std::int32_t fracGroup = -1;
-    for (Var v = 0; v < static_cast<Var>(n); ++v) {
-      if (!model_.isIntegerType(v)) continue;
-      const double x = lp.x[v];
-      const double f = std::abs(x - std::round(x));
-      if (f > fracScore) {
-        fracScore = f;
-        fracVar = v;
-        fracGroup = sosOf[v];
-      }
-    }
-
-    if (fracVar == kNoVar) {
-      // Integral: new incumbent. Round int vars exactly before storing.
-      std::vector<double> x = lp.x;
-      for (Var v = 0; v < static_cast<Var>(n); ++v) {
-        if (model_.isIntegerType(v)) x[v] = std::round(x[v]);
-      }
-      if (lp.objective < best.objective - 1e-12) {
-        best.values = std::move(x);
-        best.objective = lp.objective;
-        best.status = SolveStatus::Feasible;
-        if (opts_.onIncumbent) opts_.onIncumbent(best.objective, best.values);
-      }
-      continue;
-    }
-
-    if (fracGroup >= 0) {
-      // SOS1 branch: split the group on the position axis around the
-      // LP-relaxation's barycenter.
-      const auto& vars = sosVars_[fracGroup];
-      const auto& pos = sosPos_[fracGroup];
-      double wsum = 0.0, psum = 0.0;
-      for (std::size_t k = 0; k < vars.size(); ++k) {
-        const double xv = std::clamp(lp.x[vars[k]], 0.0, 1.0);
-        wsum += xv;
-        psum += xv * pos[k];
-      }
-      const double split = wsum > 0 ? psum / wsum : pos[pos.size() / 2];
-      // Members strictly above the split go to the "high" child; make sure
-      // both children exclude at least one *free* member.
-      std::vector<Var> lowSet, highSet;
-      for (std::size_t k = 0; k < vars.size(); ++k) {
-        if (ub[vars[k]] < 0.5) continue;  // already excluded here
-        (pos[k] <= split ? lowSet : highSet).push_back(vars[k]);
-      }
-      if (!lowSet.empty() && !highSet.empty()) {
-        auto mkChild = [&](const std::vector<Var>& exclude) {
-          std::shared_ptr<const BoundChange> chain = node.changes;
-          for (const Var v : exclude) {
-            auto ch = std::make_shared<BoundChange>();
-            ch->var = v;
-            ch->lb = rootLb[v];
-            ch->ub = 0.0;
-            ch->parent = chain;
-            chain = std::move(ch);
-          }
-          stack.push_back(NodeRec{chain, lp.objective, node.depth + 1});
-        };
-        // Dive first into the side with more LP mass: push it last.
-        double lowMass = 0.0;
-        for (const Var v : lowSet) lowMass += lp.x[v];
-        if (lowMass >= wsum / 2) {
-          mkChild(lowSet);   // child allowing only high
-          mkChild(highSet);  // child allowing only low — explored first
-        } else {
-          mkChild(highSet);
-          mkChild(lowSet);
-        }
-        continue;
-      }
-      // Degenerate group (all mass on one side): fall through to 0/1.
-    }
-
-    // Plain 0/1 (or integer floor/ceil) branching.
-    const double xv = lp.x[fracVar];
-    auto mkChild = [&](double clb, double cub) {
-      auto ch = std::make_shared<BoundChange>();
-      ch->var = fracVar;
-      ch->lb = clb;
-      ch->ub = cub;
-      ch->parent = node.changes;
-      stack.push_back(NodeRec{std::move(ch), lp.objective, node.depth + 1});
-    };
-    const double fl = std::floor(xv), ce = std::ceil(xv);
-    // Push the dive side last so DFS explores it first.
-    if ((xv - fl) > 0.5) {
-      mkChild(rootLb[fracVar], fl);
-      mkChild(ce, rootUb[fracVar]);
-    } else {
-      mkChild(ce, rootUb[fracVar]);
-      mkChild(rootLb[fracVar], fl);
-    }
-  }
-
-  best.wallSeconds = elapsed();
-  best.dualPivots = lpSolver.dualPivots();
-  best.coldSolves = lpSolver.coldSolves();
-  for (const NodeRec& rec : stack) {
-    best.bestBound = best.bestBound == -kInf
-                         ? rec.parentBound
-                         : std::min(best.bestBound, rec.parentBound);
-  }
-  if (exploredAll && stack.empty()) {
-    best.status = best.feasible() ? SolveStatus::Optimal
-                                  : SolveStatus::Infeasible;
-    if (best.feasible()) best.bestBound = best.objective;
-  } else if (best.feasible()) {
-    best.status = SolveStatus::Feasible;
-  } else {
-    best.status = SolveStatus::NoSolution;
-  }
-  return best;
+  const int threads = resolveThreads(opts_.threads);
+  if (threads == 1) return solveSerial(ctx, std::move(best), clock);
+  return solveParallel(ctx, std::move(best), clock, threads);
 }
 
 }  // namespace lamp::lp

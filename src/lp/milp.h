@@ -13,7 +13,15 @@
 ///    split on the time axis — far stronger than 0/1 branching),
 ///  - warm-start incumbents (the SDC schedule mapped to a feasible point),
 ///  - deterministic node selection (depth-first diving with best-bound
-///    pruning).
+///    pruning),
+///  - parallel tree search (MilpOptions::threads): a shared pool of open
+///    nodes serviced by worker threads, each owning its own
+///    IncrementalSimplex so warm starts stay thread-local. threads == 1
+///    reproduces the serial solver node for node; with more threads the
+///    returned objective is unchanged on any instance solved to
+///    optimality (the tree is explored exhaustively up to valid bound
+///    pruning), but node counts and which optimal vertex is returned may
+///    differ. See DESIGN.md "Concurrency model".
 
 #include <functional>
 #include <vector>
@@ -31,8 +39,13 @@ struct MilpOptions {
   /// Run shape-preserving presolve (bound propagation, redundant-row
   /// elimination) before branch & bound.
   bool presolve = true;
+  /// Branch & bound worker threads. 0 = auto (hardware concurrency capped
+  /// at 8); 1 = the exact serial solver.
+  int threads = 0;
   SimplexOptions lp;
-  /// Optional per-incumbent callback (objective, values).
+  /// Optional per-incumbent callback (objective, values). Invocations are
+  /// serialized (under the incumbent lock) even with threads > 1; the
+  /// callback must not re-enter the solver.
   std::function<void(double, const std::vector<double>&)> onIncumbent;
 };
 

@@ -14,6 +14,7 @@ std::string_view solveStatusName(SolveStatus s) {
     case SolveStatus::Infeasible: return "infeasible";
     case SolveStatus::Unbounded: return "unbounded";
     case SolveStatus::NoSolution: return "no-solution";
+    case SolveStatus::Cutoff: return "cutoff";
     case SolveStatus::Error: return "error";
   }
   return "?";

@@ -94,6 +94,7 @@ enum class SolveStatus : std::uint8_t {
   Infeasible,
   Unbounded,
   NoSolution,  ///< limit hit with no feasible point found
+  Cutoff,      ///< dual bound crossed the caller's objective cutoff
   Error,
 };
 

@@ -343,12 +343,76 @@ struct Worker {
     }
   }
 
+  /// Objective value of the current basis point. For a dual-feasible
+  /// basis this is a valid lower bound on the LP optimum (it is the dual
+  /// objective), which is what makes the cutoff test below sound.
+  double objectiveNow() const {
+    double z = 0.0;
+    for (const Term& t : model->objective().terms()) z += t.coef * x[t.var];
+    return z;
+  }
+
+  /// One pricing pass that makes the basis genuinely dual feasible — the
+  /// precondition for c'x being a valid dual bound. Unfixing a column a
+  /// previous node had branched to a single value silently breaks dual
+  /// feasibility: while fixed, the pivot loops skip the column, so its
+  /// reduced cost drifts to an arbitrary sign, and the node that frees
+  /// it inherits that sign. (The eventual primal cleanup repairs
+  /// optimality either way, but a cutoff fired from a dual-infeasible
+  /// basis would prune a node it cannot prove anything about.) A
+  /// wrong-signed column is repaired by flipping it to its opposite
+  /// bound — always possible for the 0/1 branching variables; returns
+  /// false when some column can't be flipped (opposite bound infinite),
+  /// in which case the caller must not trust c'x as a bound.
+  bool repairDualFeasibility(double tol) {
+    btran();
+    bool flipped = false;
+    bool ok = true;
+    for (std::size_t j = 0; j < numCols(); ++j) {
+      if (state[j] == ColState::Basic) continue;
+      if (lb[j] == ub[j]) continue;  // fixed: either bound multiplier works
+      const double d = reducedCost(j);
+      if (state[j] == ColState::AtLower && d < -tol) {
+        if (std::isfinite(ub[j])) {
+          state[j] = ColState::AtUpper;
+          flipped = true;
+        } else {
+          ok = false;
+        }
+      } else if (state[j] == ColState::AtUpper && d > tol) {
+        if (std::isfinite(lb[j])) {
+          state[j] = ColState::AtLower;
+          flipped = true;
+        } else {
+          ok = false;
+        }
+      } else if (state[j] == ColState::Free && std::abs(d) > tol) {
+        ok = false;
+      }
+    }
+    if (flipped) computeXB();
+    return ok;
+  }
+
   /// Dual simplex: restores primal feasibility from a dual-feasible
   /// basis (reduced-cost signs are unaffected by bound changes).
-  /// Returns Optimal (primal feasible), Infeasible, NoSolution or Error.
+  /// Returns Optimal (primal feasible), Infeasible, NoSolution, Cutoff
+  /// (dual bound crossed opts.objectiveCutoff) or Error.
   SolveStatus dualRestore(std::int64_t maxPivots) {
+    // The cutoff is only sound from a genuinely dual-feasible start; the
+    // repair costs one pricing pass, about as much as a single pivot.
+    const bool hasCutoff = std::isfinite(opts.objectiveCutoff) &&
+                           repairDualFeasibility(opts.optTol * 10);
     for (std::int64_t pivots = 0; pivots < maxPivots; ++pivots) {
       if ((pivots & 0x3F) == 0 && timedOut()) return SolveStatus::NoSolution;
+      // The bound rises monotonically, so the moment it reaches the
+      // cutoff the caller is guaranteed to fathom this node; every pivot
+      // after that (typically the whole degenerate plateau at the LP
+      // optimum) would be wasted work. The basis is untouched here, so
+      // the worker stays hot.
+      if (hasCutoff && objectiveNow() >= opts.objectiveCutoff) {
+        return SolveStatus::Cutoff;
+      }
 
       // Leaving variable: most violated basic.
       std::size_t r = m();
@@ -617,6 +681,10 @@ void IncrementalSimplex::setTimeLimit(double seconds) {
   impl_->opts.timeLimitSeconds = seconds;
 }
 
+void IncrementalSimplex::setObjectiveCutoff(double cutoff) {
+  impl_->opts.objectiveCutoff = cutoff;
+}
+
 std::int64_t IncrementalSimplex::dualPivots() const {
   return impl_->wk.dualIterations;
 }
@@ -665,11 +733,18 @@ SimplexResult IncrementalSimplex::solve(const std::vector<double>& lb,
       result.iterations = (wk.iterations - beforePrimal) +
                           (wk.dualIterations - beforeDual);
       if (st == SolveStatus::Optimal || st == SolveStatus::Infeasible ||
-          st == SolveStatus::NoSolution) {
-        // The basis stays dual feasible in all three cases, so the worker
+          st == SolveStatus::NoSolution || st == SolveStatus::Cutoff) {
+        // The basis stays dual feasible in all four cases, so the worker
         // remains hot for the next call.
         result.status = st;
-        if (st == SolveStatus::Optimal) wk.extract(result);
+        if (st == SolveStatus::Optimal) {
+          wk.extract(result);
+        } else if (st == SolveStatus::Cutoff) {
+          // No primal point to extract, but the dual bound reached is a
+          // valid lower bound on this LP — report it so the caller can
+          // use it as the fathomed node's bound.
+          result.objective = wk.objectiveNow();
+        }
         return result;
       }
       // Error: fall through to the cold path.

@@ -23,6 +23,16 @@ struct SimplexOptions {
   double optTol = 1e-7;    ///< reduced-cost optimality tolerance
   std::int64_t maxIterations = 500000;
   double timeLimitSeconds = kInf;
+  /// Early-termination threshold for the incremental (dual) path. Every
+  /// dual-feasible basis values a valid lower bound on the LP optimum and
+  /// the dual simplex raises it monotonically, so once it crosses this
+  /// value the caller will discard the node no matter what the exact
+  /// optimum is — the solve stops with SolveStatus::Cutoff and the bound
+  /// reached in SimplexResult::objective. Degenerate LPs (like modulo
+  /// scheduling) spend most of their dual pivots *at* the optimal
+  /// objective restoring feasibility; a branch & bound caller that sets
+  /// this to its incumbent skips that entire plateau.
+  double objectiveCutoff = kInf;
 };
 
 struct SimplexResult {
@@ -71,6 +81,12 @@ class IncrementalSimplex {
   /// Adjusts the per-solve wall-clock limit (e.g. branch & bound passing
   /// down its remaining budget).
   void setTimeLimit(double seconds);
+
+  /// Sets SimplexOptions::objectiveCutoff for subsequent solves (kInf
+  /// disables). A solve that stops this way returns SolveStatus::Cutoff
+  /// with `objective` holding the dual bound it reached; the warm basis
+  /// stays valid.
+  void setObjectiveCutoff(double cutoff);
 
   /// Statistics: dual pivots taken across all hot solves.
   std::int64_t dualPivots() const;

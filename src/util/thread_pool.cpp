@@ -1,0 +1,62 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace lamp::util {
+
+int ThreadPool::defaultThreads(int cap) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(hw, 1, std::max(1, cap));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : defaultThreads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cvWork_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cvWork_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cvIdle_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cvWork_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++inFlight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inFlight_;
+    }
+    cvIdle_.notify_all();
+  }
+}
+
+}  // namespace lamp::util

@@ -1,0 +1,56 @@
+#ifndef LAMP_UTIL_THREAD_POOL_H
+#define LAMP_UTIL_THREAD_POOL_H
+
+/// \file thread_pool.h
+/// Minimal fixed-size thread pool for coarse-grained jobs (one job == one
+/// experiment flow or one solver run, never per-node work). Jobs are
+/// drained FIFO; wait() blocks until every submitted job has finished, so
+/// the pool can be reused across submission rounds.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lamp::util {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` selects defaultThreads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; runs as soon as a worker frees up. A job that throws
+  /// terminates (jobs are expected to handle their own failures).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is in flight.
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency clamped to [1, cap]. The cap keeps the default
+  /// from oversubscribing machines whose core count dwarfs the number of
+  /// useful independent jobs.
+  static int defaultThreads(int cap = 8);
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cvWork_;  ///< signals workers: job or shutdown
+  std::condition_variable cvIdle_;  ///< signals wait(): all jobs drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t inFlight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lamp::util
+
+#endif  // LAMP_UTIL_THREAD_POOL_H

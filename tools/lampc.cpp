@@ -11,6 +11,9 @@
 //   --k=K                  LUT input count (default 4)
 //   --alpha=A --beta=B     objective weights (default 0.5 / 0.5)
 //   --time-limit=SEC       MILP wall-clock cap (default 20)
+//   --threads=N            branch & bound worker threads for the MILP
+//                          solver (default 0 = auto: one per hardware
+//                          thread, capped at 8; 1 = the serial solver)
 //   --formulation=compact|literal
 //   --emit-verilog[=FILE]  print the scheduled pipeline as Verilog
 //   --emit-dot[=FILE]      print the CDFG in GraphViz format
@@ -50,6 +53,7 @@ struct Args {
   int k = 4;
   double alpha = 0.5, beta = 0.5;
   double timeLimit = 20.0;
+  int threads = 0;  // auto
   std::string formulation = "compact";
   std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd;
   std::optional<std::string> exportGraph;
@@ -80,6 +84,8 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.beta = std::stod(valueOf(s));
     } else if (s.rfind("--time-limit=", 0) == 0) {
       a.timeLimit = std::stod(valueOf(s));
+    } else if (s.rfind("--threads=", 0) == 0) {
+      a.threads = std::stoi(valueOf(s));
     } else if (s.rfind("--formulation=", 0) == 0) {
       a.formulation = valueOf(s);
     } else if (s == "--emit-verilog" || s.rfind("--emit-verilog=", 0) == 0) {
@@ -216,6 +222,7 @@ int main(int argc, char** argv) {
   opts.beta = a.beta;
   opts.cuts.k = a.k;
   opts.solverTimeLimitSeconds = a.timeLimit;
+  opts.solverThreads = a.threads;
 
   flow::FlowResult result;
   if (a.method == "hls") {
