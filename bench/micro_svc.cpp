@@ -1,0 +1,216 @@
+// Microbenchmark for the lampd scheduling service: cold-vs-warm request
+// latency through the content-addressed solution cache, and admission
+// queue throughput at 1/4/8 workers. Writes BENCH_svc.json with the
+// schema
+//
+//   {"latency":    [{bench, method, cold_ms, warm_ms, speedup}, ...],
+//    "throughput": [{workers, requests, cold_s, cold_rps,
+//                    warm_s, warm_rps}, ...]}
+//
+// The latency section is the paper-facing acceptance number: a repeated
+// request must be served orders of magnitude (>= 10x on RS at paper
+// scale) faster than its cold solve, because the second serve is a cache
+// lookup plus JSON render instead of cut enumeration + branch & bound.
+//
+// Knobs: LAMP_SCALE, LAMP_TIME_LIMIT (per-solve cap, default 60 s),
+// LAMP_FILTER (restrict latency benchmarks), LAMP_CSV.
+
+#include <condition_variable>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "report/table.h"
+#include "svc/service.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace lamp;
+
+namespace {
+
+struct LatencyRow {
+  std::string bench;
+  std::string method;
+  double coldMs = 0.0;
+  double warmMs = 0.0;
+  double speedup = 0.0;
+};
+
+struct ThroughputRow {
+  int workers = 1;
+  int requests = 0;
+  double coldSeconds = 0.0;
+  double warmSeconds = 0.0;
+};
+
+std::string requestLine(const std::string& id, const std::string& bench,
+                        const std::string& method, double timeLimit,
+                        double tcpNs, bool paperScale) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << id << "\",\"benchmark\":\"" << bench
+     << "\",\"method\":\"" << method
+     << "\",\"options\":{\"timeLimitSeconds\":" << timeLimit
+     << ",\"tcpNs\":" << tcpNs << "}";
+  if (paperScale) os << ",\"paperScale\":true";
+  os << "}";
+  return os.str();
+}
+
+double timedCall(svc::Service& service, const std::string& line) {
+  util::Stopwatch sw;
+  const std::string resp = service.call(line);
+  const double ms = sw.seconds() * 1000.0;
+  const auto doc = util::Json::parse(resp);
+  if (!doc || doc->find("ok") == nullptr || !doc->find("ok")->asBool()) {
+    std::cerr << "[micro_svc] request failed: " << resp.substr(0, 200) << "\n";
+    std::exit(1);
+  }
+  return ms;
+}
+
+/// Pushes all `lines` through the service concurrently and returns the
+/// wall-clock seconds until every response arrived.
+double timedBurst(svc::Service& service, const std::vector<std::string>& lines) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  util::Stopwatch sw;
+  for (const std::string& line : lines) {
+    service.submit(line, [&](std::string) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == lines.size(); });
+  return sw.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::envScale();
+  const bool paperScale = scale == workloads::Scale::Paper;
+  const double timeLimit = bench::envTimeLimit(60.0);
+
+  // --- cold vs warm latency --------------------------------------------------
+  // GFMUL (small, LUT-dominated) and RS (the paper's running example)
+  // by default; LAMP_FILTER substitutes its own list.
+  std::vector<std::string> latencyBenchmarks = {"GFMUL", "RS"};
+  if (const char* f = std::getenv("LAMP_FILTER")) {
+    latencyBenchmarks.clear();
+    std::string name;
+    for (std::istringstream in(f); std::getline(in, name, ',');) {
+      if (!name.empty()) latencyBenchmarks.push_back(name);
+    }
+  }
+
+  report::Table latencyTable(
+      {"Bench", "Method", "Cold(ms)", "Warm(ms)", "Speedup"});
+  std::vector<LatencyRow> latencyRows;
+  {
+    svc::ServiceOptions so;
+    so.workers = 1;
+    svc::Service service(so);
+    for (const std::string& bench : latencyBenchmarks) {
+      for (const char* method : {"map", "base"}) {
+        const std::string line = requestLine("lat-" + bench + "-" + method,
+                                             bench, method, timeLimit, 10.0,
+                                             paperScale);
+        std::cerr << "[micro_svc] latency " << bench << "/" << method
+                  << " cold...\n";
+        LatencyRow row;
+        row.bench = bench;
+        row.method = method;
+        row.coldMs = timedCall(service, line);
+        row.warmMs = timedCall(service, line);  // exact cache hit
+        row.speedup = row.warmMs > 0 ? row.coldMs / row.warmMs : 0.0;
+        latencyRows.push_back(row);
+        latencyTable.addRow({row.bench, row.method,
+                             report::fixed(row.coldMs, 2),
+                             report::fixed(row.warmMs, 3),
+                             report::fixed(row.speedup, 1)});
+      }
+    }
+  }
+
+  // --- queue throughput ------------------------------------------------------
+  // 24 distinct short requests (tcpNs sweep over three small benchmarks)
+  // pushed through the bounded queue at 1/4/8 workers: the cold pass
+  // measures solver throughput, the warm pass measures the service
+  // overhead floor (parse + hash + cache lookup + render).
+  std::vector<std::string> burst;
+  {
+    int n = 0;
+    for (const char* bench : {"CLZ", "XORR", "GFMUL"}) {
+      for (int i = 0; i < 8; ++i) {
+        burst.push_back(requestLine("tp-" + std::to_string(n++), bench, "map",
+                                    std::min(timeLimit, 10.0),
+                                    10.0 + 0.5 * i, paperScale));
+      }
+    }
+  }
+
+  report::Table throughputTable(
+      {"Workers", "Requests", "Cold(s)", "Cold(rps)", "Warm(s)", "Warm(rps)"});
+  std::vector<ThroughputRow> throughputRows;
+  for (const int workers : {1, 4, 8}) {
+    std::cerr << "[micro_svc] throughput @ " << workers << " worker(s)...\n";
+    svc::ServiceOptions so;
+    so.workers = workers;
+    so.queueCap = static_cast<int>(burst.size());
+    svc::Service service(so);
+    ThroughputRow row;
+    row.workers = workers;
+    row.requests = static_cast<int>(burst.size());
+    row.coldSeconds = timedBurst(service, burst);
+    row.warmSeconds = timedBurst(service, burst);
+    throughputRows.push_back(row);
+    throughputTable.addRow(
+        {std::to_string(row.workers), std::to_string(row.requests),
+         report::fixed(row.coldSeconds, 2),
+         report::fixed(row.requests / row.coldSeconds, 2),
+         report::fixed(row.warmSeconds, 3),
+         report::fixed(row.requests / row.warmSeconds, 1)});
+  }
+
+  if (bench::envCsv()) {
+    latencyTable.printCsv(std::cout);
+    throughputTable.printCsv(std::cout);
+  } else {
+    latencyTable.print(std::cout);
+    std::cout << "\n";
+    throughputTable.print(std::cout);
+  }
+
+  std::ofstream out("BENCH_svc.json");
+  out << "{\n  \"latency\": [\n";
+  for (std::size_t i = 0; i < latencyRows.size(); ++i) {
+    const LatencyRow& r = latencyRows[i];
+    out << "    {\"bench\": \"" << r.bench << "\", \"method\": \"" << r.method
+        << "\", \"cold_ms\": " << r.coldMs << ", \"warm_ms\": " << r.warmMs
+        << ", \"speedup\": " << r.speedup << "}"
+        << (i + 1 < latencyRows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"throughput\": [\n";
+  for (std::size_t i = 0; i < throughputRows.size(); ++i) {
+    const ThroughputRow& r = throughputRows[i];
+    out << "    {\"workers\": " << r.workers
+        << ", \"requests\": " << r.requests << ", \"cold_s\": " << r.coldSeconds
+        << ", \"cold_rps\": " << r.requests / r.coldSeconds
+        << ", \"warm_s\": " << r.warmSeconds
+        << ", \"warm_rps\": " << r.requests / r.warmSeconds << "}"
+        << (i + 1 < throughputRows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nWrote BENCH_svc.json (" << latencyRows.size()
+            << " latency rows, " << throughputRows.size()
+            << " throughput rows)\n";
+  return 0;
+}

@@ -19,7 +19,39 @@ std::string_view methodName(Method m) {
   return "?";
 }
 
+std::string_view methodToken(Method m) {
+  switch (m) {
+    case Method::HlsTool: return "hls";
+    case Method::MilpBase: return "base";
+    case Method::MilpMap: return "map";
+  }
+  return "?";
+}
+
+bool parseMethodToken(std::string_view token, Method& out) {
+  if (token == "hls") {
+    out = Method::HlsTool;
+  } else if (token == "base") {
+    out = Method::MilpBase;
+  } else if (token == "map") {
+    out = Method::MilpMap;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace {
+
+/// Keeps every diagnostic: later failures append to earlier ones (e.g.
+/// the solver-cap fallback reason) instead of replacing them.
+void appendError(std::string& error, std::string msg) {
+  if (error.empty()) {
+    error = std::move(msg);
+  } else {
+    error += "; " + msg;
+  }
+}
 
 /// Functional check of a schedule against the untimed interpreter.
 bool verifyFunctionally(const Benchmark& bm, const sched::Schedule& s,
@@ -49,7 +81,7 @@ FlowResult finish(const Benchmark& bm, FlowResult r,
   const sched::ValidationInput vin{bm.graph, db, opts.delays, bm.resources};
   if (const auto diag = sched::validateSchedule(vin, r.schedule)) {
     r.success = false;
-    r.error = "schedule validation failed: " + *diag;
+    appendError(r.error, "schedule validation failed: " + *diag);
     return r;
   }
   map::AreaOptions ao;
@@ -57,8 +89,10 @@ FlowResult finish(const Benchmark& bm, FlowResult r,
   r.area = map::evaluate(bm.graph, r.schedule, opts.delays, ao);
   r.functionallyVerified = verifyFunctionally(bm, r.schedule, db, opts);
   if (opts.verifyFrames > 0 && !r.functionallyVerified) {
+    // The schedule (and area report) stay populated: callers get both
+    // the solve outcome and the verification failure.
     r.success = false;
-    r.error = "pipeline simulation diverged from the reference";
+    appendError(r.error, "pipeline simulation diverged from the reference");
   }
   return r;
 }
@@ -174,6 +208,25 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
         scheduleCost(greedy.schedule, db) <
             scheduleCost(sdc.schedule, baselineIsGreedy ? db : trivial)) {
       mo.warmStart = &greedy.schedule;
+      mo.warmStartSelectsCuts = true;
+    }
+  }
+
+  // A cached incumbent from the service layer (same graph solved before,
+  // e.g. at a tighter clock or a shorter time limit) outranks the
+  // heuristic starts whenever it is still feasible here and cheaper —
+  // branch & bound then begins at the previous solve's upper bound.
+  if (opts.warmStartHint != nullptr) {
+    const sched::Schedule& hint = *opts.warmStartHint;
+    if (hint.ii == mo.ii && hint.cycle.size() == bm.graph.size() &&
+        hint.selectedCut.size() == bm.graph.size() &&
+        hint.latency(bm.graph) <= mo.maxLatency &&
+        sched::validateSchedule({bm.graph, db, opts.delays, bm.resources},
+                                hint) == std::nullopt &&
+        scheduleCost(hint, db) <
+            scheduleCost(*mo.warmStart,
+                         mo.warmStartSelectsCuts ? db : trivial)) {
+      mo.warmStart = &hint;
       mo.warmStartSelectsCuts = true;
     }
   }

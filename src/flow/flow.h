@@ -26,6 +26,13 @@ enum class Method { HlsTool, MilpBase, MilpMap };
 
 std::string_view methodName(Method m);
 
+/// Short machine token ("hls" | "base" | "map") used by the CLI, the
+/// service protocol and cache keys.
+std::string_view methodToken(Method m);
+
+/// Parses a methodToken() string; returns false on unknown input.
+bool parseMethodToken(std::string_view token, Method& out);
+
 struct FlowOptions {
   int ii = 1;
   double tcpNs = 10.0;
@@ -47,10 +54,24 @@ struct FlowOptions {
   /// experiment flows stay reproducible run to run; lampc --threads and
   /// the LAMP_THREADS bench knob opt in to the parallel solver.
   int solverThreads = 1;
+  /// Optional externally supplied incumbent for the MILP arms — the
+  /// lampd solution cache passes a previously solved schedule of the
+  /// same graph here (near-miss reuse: same instance at a looser clock
+  /// target or a different solver time limit). The schedule must index
+  /// this graph's nodes and is only adopted when it validates against
+  /// the request's constraints and beats the heuristic warm start; its
+  /// selectedCut entries are interpreted against the cut database the
+  /// chosen method enumerates (deterministic, so indices from an earlier
+  /// identical enumeration stay valid). Must outlive the runFlow call.
+  const sched::Schedule* warmStartHint = nullptr;
 };
 
 struct FlowResult {
   bool success = false;
+  /// Accumulated diagnostics, "; "-separated: downstream failures
+  /// (validation, functional verification) append to — never overwrite —
+  /// earlier solver diagnostics, and the schedule that triggered them
+  /// stays populated so callers can surface both.
   std::string error;
   Method method = Method::HlsTool;
 

@@ -1,0 +1,256 @@
+#include "flow/flow_json.h"
+
+#include <charconv>
+
+#include "lp/model.h"
+
+namespace lamp::flow {
+
+using util::Json;
+
+namespace {
+
+bool parseStatus(std::string_view name, lp::SolveStatus& out) {
+  for (const lp::SolveStatus s :
+       {lp::SolveStatus::Optimal, lp::SolveStatus::Feasible,
+        lp::SolveStatus::Infeasible, lp::SolveStatus::Unbounded,
+        lp::SolveStatus::NoSolution, lp::SolveStatus::Cutoff,
+        lp::SolveStatus::Error}) {
+    if (lp::solveStatusName(s) == name) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+Json intArray(const std::vector<int>& v) {
+  Json a = Json::array();
+  for (const int x : v) a.push(Json::integer(x));
+  return a;
+}
+
+Json doubleArray(const std::vector<double>& v) {
+  Json a = Json::array();
+  for (const double x : v) a.push(Json::number(x));
+  return a;
+}
+
+bool readIntArray(const Json* j, std::vector<int>& out) {
+  if (j == nullptr || !j->isArray()) return false;
+  out.clear();
+  out.reserve(j->size());
+  for (std::size_t i = 0; i < j->size(); ++i) {
+    if (!j->at(i).isNumber()) return false;
+    out.push_back(static_cast<int>(j->at(i).asInt()));
+  }
+  return true;
+}
+
+bool readDoubleArray(const Json* j, std::vector<double>& out) {
+  if (j == nullptr || !j->isArray()) return false;
+  out.clear();
+  out.reserve(j->size());
+  for (std::size_t i = 0; i < j->size(); ++i) {
+    if (!j->at(i).isNumber()) return false;
+    out.push_back(j->at(i).asDouble());
+  }
+  return true;
+}
+
+/// Shortest-round-trip double text for cache keys.
+std::string numKey(double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+Json resultToJson(const FlowResult& r) {
+  Json j = Json::object();
+  j.set("success", Json::boolean(r.success));
+  j.set("error", Json::string(r.error));
+  j.set("method", Json::string(std::string(methodToken(r.method))));
+  j.set("functionallyVerified", Json::boolean(r.functionallyVerified));
+
+  Json sched = Json::object();
+  sched.set("ii", Json::integer(r.schedule.ii));
+  sched.set("tcpNs", Json::number(r.schedule.tcpNs));
+  sched.set("cycle", intArray(r.schedule.cycle));
+  sched.set("startNs", doubleArray(r.schedule.startNs));
+  sched.set("selectedCut", intArray(r.schedule.selectedCut));
+  j.set("schedule", std::move(sched));
+
+  Json area = Json::object();
+  area.set("luts", Json::integer(r.area.luts));
+  area.set("ffs", Json::integer(r.area.ffs));
+  area.set("cpNs", Json::number(r.area.cpNs));
+  area.set("latency", Json::integer(r.area.latency));
+  area.set("stages", Json::integer(r.area.stages));
+  area.set("materializedValues", Json::integer(r.area.materializedValues));
+  area.set("lutsPerStage", intArray(r.area.lutsPerStage));
+  area.set("cpPerStage", doubleArray(r.area.cpPerStage));
+  area.set("warning", Json::string(r.area.warning));
+  j.set("area", std::move(area));
+
+  Json solver = Json::object();
+  solver.set("status",
+             Json::string(std::string(lp::solveStatusName(r.status))));
+  solver.set("objective", Json::number(r.objective));
+  solver.set("solveSeconds", Json::number(r.solveSeconds));
+  solver.set("buildSeconds", Json::number(r.buildSeconds));
+  solver.set("branchNodes", Json::integer(r.branchNodes));
+  solver.set("numVars", Json::integer(static_cast<std::int64_t>(r.numVars)));
+  solver.set("numConstraints",
+             Json::integer(static_cast<std::int64_t>(r.numConstraints)));
+  solver.set("numCuts", Json::integer(static_cast<std::int64_t>(r.numCuts)));
+  j.set("solver", std::move(solver));
+  return j;
+}
+
+bool resultFromJson(const Json& j, FlowResult& out, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (!j.isObject()) return fail("result is not an object");
+  out = FlowResult{};
+
+  const Json* v = j.find("success");
+  if (v == nullptr || !v->isBool()) return fail("missing success");
+  out.success = v->asBool();
+  if ((v = j.find("error")) != nullptr) out.error = v->asString();
+  if ((v = j.find("method")) == nullptr ||
+      !parseMethodToken(v->asString(), out.method)) {
+    return fail("bad method");
+  }
+  if ((v = j.find("functionallyVerified")) != nullptr) {
+    out.functionallyVerified = v->asBool();
+  }
+
+  const Json* sched = j.find("schedule");
+  if (sched == nullptr || !sched->isObject()) return fail("missing schedule");
+  out.schedule.ii = static_cast<int>(
+      sched->find("ii") ? sched->find("ii")->asInt(1) : 1);
+  out.schedule.tcpNs =
+      sched->find("tcpNs") ? sched->find("tcpNs")->asDouble(10.0) : 10.0;
+  if (!readIntArray(sched->find("cycle"), out.schedule.cycle) ||
+      !readDoubleArray(sched->find("startNs"), out.schedule.startNs) ||
+      !readIntArray(sched->find("selectedCut"), out.schedule.selectedCut)) {
+    return fail("bad schedule arrays");
+  }
+  if (out.schedule.startNs.size() != out.schedule.cycle.size() ||
+      out.schedule.selectedCut.size() != out.schedule.cycle.size()) {
+    return fail("schedule arrays of unequal length");
+  }
+
+  const Json* area = j.find("area");
+  if (area != nullptr && area->isObject()) {
+    const auto num = [&](const char* key, double fallback) {
+      const Json* f = area->find(key);
+      return f ? f->asDouble(fallback) : fallback;
+    };
+    out.area.luts = static_cast<int>(num("luts", 0));
+    out.area.ffs = static_cast<int>(num("ffs", 0));
+    out.area.cpNs = num("cpNs", 0.0);
+    out.area.latency = static_cast<int>(num("latency", 0));
+    out.area.stages = static_cast<int>(num("stages", 0));
+    out.area.materializedValues = static_cast<int>(num("materializedValues", 0));
+    (void)readIntArray(area->find("lutsPerStage"), out.area.lutsPerStage);
+    (void)readDoubleArray(area->find("cpPerStage"), out.area.cpPerStage);
+    if (const Json* w = area->find("warning")) out.area.warning = w->asString();
+  }
+
+  const Json* solver = j.find("solver");
+  if (solver != nullptr && solver->isObject()) {
+    if (const Json* s = solver->find("status")) {
+      if (!parseStatus(s->asString(), out.status)) return fail("bad status");
+    }
+    const auto num = [&](const char* key, double fallback) {
+      const Json* f = solver->find(key);
+      return f ? f->asDouble(fallback) : fallback;
+    };
+    out.objective = num("objective", 0.0);
+    out.solveSeconds = num("solveSeconds", 0.0);
+    out.buildSeconds = num("buildSeconds", 0.0);
+    const Json* bn = solver->find("branchNodes");
+    out.branchNodes = bn ? bn->asInt(0) : 0;
+    const Json* nv = solver->find("numVars");
+    out.numVars = nv ? static_cast<std::size_t>(nv->asInt(0)) : 0;
+    const Json* nc = solver->find("numConstraints");
+    out.numConstraints = nc ? static_cast<std::size_t>(nc->asInt(0)) : 0;
+    const Json* nk = solver->find("numCuts");
+    out.numCuts = nk ? static_cast<std::size_t>(nk->asInt(0)) : 0;
+  }
+  return true;
+}
+
+Json optionsToJson(const FlowOptions& o) {
+  Json j = Json::object();
+  j.set("ii", Json::integer(o.ii));
+  j.set("tcpNs", Json::number(o.tcpNs));
+  j.set("alpha", Json::number(o.alpha));
+  j.set("beta", Json::number(o.beta));
+  j.set("timeLimitSeconds", Json::number(o.solverTimeLimitSeconds));
+  j.set("latencyMargin", Json::integer(o.latencyMargin));
+  j.set("k", Json::integer(o.cuts.k));
+  j.set("verifyFrames", Json::integer(o.verifyFrames));
+  j.set("verifySeed", Json::integer(o.verifySeed));
+  j.set("solverThreads", Json::integer(o.solverThreads));
+  return j;
+}
+
+bool optionsFromJson(const Json& j, FlowOptions& out, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (j.isNull()) return true;  // absent options object = all defaults
+  if (!j.isObject()) return fail("options is not an object");
+  for (const auto& [key, value] : j.members()) {
+    if (!value.isNumber()) return fail("option '" + key + "' is not a number");
+    if (key == "ii") {
+      out.ii = static_cast<int>(value.asInt());
+    } else if (key == "tcpNs") {
+      out.tcpNs = value.asDouble();
+    } else if (key == "alpha") {
+      out.alpha = value.asDouble();
+    } else if (key == "beta") {
+      out.beta = value.asDouble();
+    } else if (key == "timeLimitSeconds") {
+      out.solverTimeLimitSeconds = value.asDouble();
+    } else if (key == "latencyMargin") {
+      out.latencyMargin = static_cast<int>(value.asInt());
+    } else if (key == "k") {
+      out.cuts.k = static_cast<int>(value.asInt());
+    } else if (key == "verifyFrames") {
+      out.verifyFrames = static_cast<int>(value.asInt());
+    } else if (key == "verifySeed") {
+      out.verifySeed = static_cast<std::uint32_t>(value.asInt());
+    } else if (key == "solverThreads") {
+      out.solverThreads = static_cast<int>(value.asInt());
+    } else {
+      return fail("unknown option '" + key + "'");
+    }
+  }
+  if (out.ii < 1) return fail("ii must be >= 1");
+  if (out.tcpNs <= 0) return fail("tcpNs must be positive");
+  if (out.cuts.k < 2 || out.cuts.k > 8) return fail("k out of range [2,8]");
+  return true;
+}
+
+std::string hardOptionKey(Method m, const FlowOptions& o) {
+  std::string key = "v1;m=";
+  key += methodToken(m);
+  key += ";ii=" + std::to_string(o.ii);
+  key += ";a=" + numKey(o.alpha);
+  key += ";b=" + numKey(o.beta);
+  key += ";k=" + std::to_string(o.cuts.k);
+  key += ";lm=" + std::to_string(o.latencyMargin);
+  key += ";vf=" + std::to_string(o.verifyFrames);
+  key += ";vs=" + std::to_string(o.verifySeed);
+  return key;
+}
+
+}  // namespace lamp::flow

@@ -1,0 +1,131 @@
+#include "ir/hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace lamp::ir {
+
+namespace {
+
+/// splitmix64 finalizer — the standard strong 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive accumulation (a Merkle-Damgard-style fold).
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (mix64(v) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+/// Local structural fingerprint of one node, ignoring its id, its name
+/// and its operands. constValue only means anything on Const nodes;
+/// folding it in unconditionally would hash stale scratch on other kinds.
+std::uint64_t localSeed(const Node& n) {
+  std::uint64_t h = 0x243F6A8885A308D3ull;  // pi, for want of a nothing-up-my-sleeve seed
+  h = fold(h, static_cast<std::uint64_t>(n.kind));
+  h = fold(h, n.width);
+  h = fold(h, n.isSigned ? 1 : 0);
+  h = fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(n.attr0)));
+  h = fold(h, n.kind == OpKind::Const ? n.constValue : 0);
+  h = fold(h, n.operands.size());
+  return h;
+}
+
+/// Collapses the per-node hashes into one digest, invariant to their
+/// order. Two independent seeds give the two 64-bit halves.
+GraphDigest aggregate(std::vector<std::uint64_t> hashes) {
+  std::sort(hashes.begin(), hashes.end());
+  GraphDigest d;
+  d.hi = fold(0x452821E638D01377ull, hashes.size());
+  d.lo = fold(0x13198A2E03707344ull, hashes.size());
+  for (const std::uint64_t h : hashes) {
+    d.hi = fold(d.hi, h);
+    d.lo = fold(d.lo, ~h);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string GraphDigest::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::optional<GraphDigest> GraphDigest::fromHex(std::string_view s) {
+  if (s.size() != 32) return std::nullopt;
+  GraphDigest d;
+  for (int half = 0; half < 2; ++half) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = s[half * 16 + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    (half == 0 ? d.hi : d.lo) = v;
+  }
+  return d;
+}
+
+GraphDigest canonicalHash(const Graph& g) {
+  const std::size_t n = g.size();
+  if (n == 0) return aggregate({});
+
+  // Weisfeiler-Leman-style refinement: every round folds each node's
+  // operand hashes (order- and distance-sensitive) into its own. The
+  // update never reads NodeId values, so any permutation of the node
+  // array yields the same multiset of hashes. Distinguishing power only
+  // grows with rounds; a node adjacent to any structural difference
+  // already differs after one round and the difference then radiates
+  // outward, so a modest round count separates real-world graphs while
+  // keeping the pass O(rounds * edges).
+  std::vector<std::uint64_t> h(n), next(n);
+  for (NodeId v = 0; v < n; ++v) h[v] = localSeed(g.node(v));
+
+  const int rounds = static_cast<int>(std::min<std::size_t>(n, 32));
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t acc = fold(localSeed(g.node(v)), h[v]);
+      for (const Edge& e : g.node(v).operands) {
+        acc = fold(acc, h[e.src]);
+        acc = fold(acc, e.dist);
+      }
+      next[v] = acc;
+    }
+    h.swap(next);
+  }
+  return aggregate(std::move(h));
+}
+
+GraphDigest layoutHash(const Graph& g) {
+  std::uint64_t hi = 0x082EFA98EC4E6C89ull;
+  std::uint64_t lo = 0xA4093822299F31D0ull;
+  const auto feed = [&](std::uint64_t v) {
+    hi = fold(hi, v);
+    lo = fold(lo, ~v);
+  };
+  feed(g.size());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    feed(localSeed(g.node(v)));
+    for (const Edge& e : g.node(v).operands) {
+      feed(e.src);
+      feed(e.dist);
+    }
+  }
+  return GraphDigest{hi, lo};
+}
+
+}  // namespace lamp::ir

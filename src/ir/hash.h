@@ -1,0 +1,54 @@
+#ifndef LAMP_IR_HASH_H
+#define LAMP_IR_HASH_H
+
+/// \file hash.h
+/// Structural digests of CDFGs, the addressing scheme of the lampd
+/// solution cache (see src/svc/cache.h):
+///
+///  - canonicalHash(): invariant under node reordering and under node /
+///    graph renaming. Covers opcodes, widths, signedness, attributes,
+///    constants and the full edge structure (operand order and
+///    inter-iteration distances included). Two graphs that differ in any
+///    of those hash differently with overwhelming probability; two
+///    graphs that are the same modulo a node permutation and renaming
+///    hash identically, always.
+///  - layoutHash(): additionally pins the concrete NodeId numbering
+///    (still ignoring names). Schedules are per-NodeId vectors, so a
+///    cached schedule can only be replayed onto a graph with an equal
+///    *layout* hash; the canonical hash addresses the cache bucket, the
+///    layout hash gates replay.
+///
+/// Both are probabilistic 128-bit digests, not canonical forms: equal
+/// digests of structurally different graphs are possible in principle
+/// but need an engineered collision of the underlying mixer.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ir/graph.h"
+
+namespace lamp::ir {
+
+/// A 128-bit digest with a fixed 32-character lowercase-hex rendering.
+struct GraphDigest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const GraphDigest&, const GraphDigest&) = default;
+  friend auto operator<=>(const GraphDigest&, const GraphDigest&) = default;
+
+  std::string hex() const;
+  static std::optional<GraphDigest> fromHex(std::string_view s);
+};
+
+/// Permutation- and name-invariant structural digest (see file comment).
+GraphDigest canonicalHash(const Graph& g);
+
+/// NodeId-ordered structural digest; name-invariant, permutation-variant.
+GraphDigest layoutHash(const Graph& g);
+
+}  // namespace lamp::ir
+
+#endif  // LAMP_IR_HASH_H

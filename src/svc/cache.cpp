@@ -1,0 +1,206 @@
+#include "svc/cache.h"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "flow/flow_json.h"
+
+namespace lamp::svc {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+std::uint64_t stringHash64(std::string_view s) {
+  // FNV-1a, enough to give option keys a fixed-width file-name token.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string numText(double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+SolutionCache::SolutionCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // best effort; load below tolerates absence
+    loadDirectory();
+  }
+}
+
+std::string SolutionCache::bucketId(const CacheKey& key) {
+  return key.canonical.hex() + "-" + key.layout.hex() + "-" +
+         hex64(stringHash64(key.hardKey));
+}
+
+std::string SolutionCache::entryPath(const CacheKey& key) const {
+  const std::string soft =
+      numText(key.tcpNs) + "," + numText(key.timeLimitSeconds);
+  return dir_ + "/" + bucketId(key) + "-" + hex64(stringHash64(soft)) +
+         ".json";
+}
+
+void SolutionCache::loadDirectory() {
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file() || de.path().extension() != ".json") continue;
+    std::ifstream in(de.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto doc = Json::parse(ss.str());
+    if (!doc || !doc->isObject()) continue;
+    const Json* canonical = doc->find("canonical");
+    const Json* layout = doc->find("layout");
+    const Json* hardKey = doc->find("hardKey");
+    const Json* tcp = doc->find("tcpNs");
+    const Json* tl = doc->find("timeLimitSeconds");
+    const Json* result = doc->find("result");
+    if (!canonical || !layout || !hardKey || !tcp || !tl || !result) continue;
+    const auto canonicalDigest = ir::GraphDigest::fromHex(canonical->asString());
+    const auto layoutDigest = ir::GraphDigest::fromHex(layout->asString());
+    if (!canonicalDigest || !layoutDigest) continue;
+    Entry e;
+    e.tcpNs = tcp->asDouble();
+    e.timeLimitSeconds = tl->asDouble();
+    if (!flow::resultFromJson(*result, e.result, nullptr)) continue;
+    CacheKey key{*canonicalDigest, *layoutDigest, hardKey->asString(), e.tcpNs,
+                 e.timeLimitSeconds};
+    auto& bucket = buckets_[bucketId(key)];
+    bool replaced = false;
+    for (Entry& existing : bucket) {
+      if (existing.tcpNs == e.tcpNs &&
+          existing.timeLimitSeconds == e.timeLimitSeconds) {
+        existing = e;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) bucket.push_back(std::move(e));
+    ++stats_.loadedFromDisk;
+  }
+}
+
+SolutionCache::Lookup SolutionCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lookup out;
+  const auto it = buckets_.find(bucketId(key));
+  if (it != buckets_.end()) {
+    // Exact first; otherwise the best warm candidate: tightest-fitting
+    // clock target (largest cached tcpNs still <= the request), then the
+    // longest solver budget (more time = better incumbent, usually).
+    const Entry* warm = nullptr;
+    for (const Entry& e : it->second) {
+      if (e.tcpNs == key.tcpNs && e.timeLimitSeconds == key.timeLimitSeconds) {
+        ++stats_.exactHits;
+        out.kind = Lookup::Kind::Exact;
+        out.result = e.result;
+        return out;
+      }
+      if (!e.result.success || e.tcpNs > key.tcpNs) continue;
+      if (warm == nullptr || e.tcpNs > warm->tcpNs ||
+          (e.tcpNs == warm->tcpNs &&
+           e.timeLimitSeconds > warm->timeLimitSeconds)) {
+        warm = &e;
+      }
+    }
+    if (warm != nullptr) {
+      ++stats_.warmHits;
+      out.kind = Lookup::Kind::Warm;
+      out.result = warm->result;
+      return out;
+    }
+  }
+  ++stats_.misses;
+  return out;
+}
+
+void SolutionCache::insert(const CacheKey& key,
+                           const flow::FlowResult& result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& bucket = buckets_[bucketId(key)];
+    bool replaced = false;
+    for (Entry& e : bucket) {
+      if (e.tcpNs == key.tcpNs &&
+          e.timeLimitSeconds == key.timeLimitSeconds) {
+        e.result = result;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      bucket.push_back(Entry{key.tcpNs, key.timeLimitSeconds, result});
+    }
+    ++stats_.inserts;
+  }
+  if (!dir_.empty()) persist(key, result);
+}
+
+void SolutionCache::persist(const CacheKey& key,
+                            const flow::FlowResult& result) {
+  Json doc = Json::object();
+  doc.set("version", Json::integer(1));
+  doc.set("canonical", Json::string(key.canonical.hex()));
+  doc.set("layout", Json::string(key.layout.hex()));
+  doc.set("hardKey", Json::string(key.hardKey));
+  doc.set("tcpNs", Json::number(key.tcpNs));
+  doc.set("timeLimitSeconds", Json::number(key.timeLimitSeconds));
+  doc.set("result", flow::resultToJson(result));
+
+  const std::string path = entryPath(key);
+  // Thread-unique temp name: concurrent inserts of the same key must not
+  // interleave partial writes; the final rename is atomic either way.
+  const std::string tmp =
+      path + ".tmp" +
+      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.diskWriteFailures;
+      return;
+    }
+    doc.write(out);
+    out << "\n";
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.diskWriteFailures;
+  }
+}
+
+CacheStats SolutionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, bucket] : buckets_) n += bucket.size();
+  return n;
+}
+
+}  // namespace lamp::svc

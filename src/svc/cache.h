@@ -1,0 +1,102 @@
+#ifndef LAMP_SVC_CACHE_H
+#define LAMP_SVC_CACHE_H
+
+/// \file cache.h
+/// Content-addressed solution cache — the core of the lampd scheduling
+/// service. A solved instance is addressed by
+///
+///   (canonicalHash(graph), layoutHash(graph), hardOptionKey)
+///
+/// where the canonical hash is invariant under node reordering/renaming
+/// (see ir/hash.h), the layout hash gates replay of the per-NodeId
+/// schedule vectors, and the hard option key covers every option that
+/// changes the solution space (method, II, alpha/beta, K, ...). The two
+/// *soft* axes — clock target tcpNs and solver time limit — live inside
+/// the bucket:
+///
+///  - exact hit: an entry with equal tcpNs and equal time limit returns
+///    the stored FlowResult verbatim (bit-identical schedule);
+///  - near miss: an entry solved at a clock target no looser than the
+///    request (cached tcpNs <= requested tcpNs; any time limit) is
+///    returned as a warm-start incumbent — a schedule feasible under a
+///    tighter clock stays feasible under a looser one, so branch & bound
+///    starts from the previous solve's upper bound instead of cold.
+///
+/// With a cache directory configured, every insert is persisted as one
+/// JSON file (write-to-temp + rename) and the constructor reloads the
+/// directory, so a warm daemon restart skips every solved instance.
+/// Thread-safe; every public method may be called from any worker.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "ir/hash.h"
+
+namespace lamp::svc {
+
+struct CacheKey {
+  ir::GraphDigest canonical;
+  ir::GraphDigest layout;
+  std::string hardKey;  ///< flow::hardOptionKey()
+  double tcpNs = 10.0;
+  double timeLimitSeconds = 20.0;
+};
+
+struct CacheStats {
+  std::uint64_t exactHits = 0;
+  std::uint64_t warmHits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t loadedFromDisk = 0;
+  std::uint64_t diskWriteFailures = 0;
+};
+
+class SolutionCache {
+ public:
+  /// `dir` empty = in-memory only; otherwise the directory is created if
+  /// needed and existing entries are loaded eagerly (unreadable files
+  /// are skipped, never fatal).
+  explicit SolutionCache(std::string dir = {});
+
+  struct Lookup {
+    enum class Kind { Miss, Exact, Warm } kind = Kind::Miss;
+    /// Exact: the stored result. Warm: the stored result whose schedule
+    /// serves as the warm-start incumbent.
+    flow::FlowResult result;
+  };
+
+  Lookup lookup(const CacheKey& key);
+
+  /// Stores (and persists) a result. Replaces an existing entry with the
+  /// same exact key. Callers only insert successful results.
+  void insert(const CacheKey& key, const flow::FlowResult& result);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  const std::string& directory() const { return dir_; }
+
+ private:
+  struct Entry {
+    double tcpNs = 0.0;
+    double timeLimitSeconds = 0.0;
+    flow::FlowResult result;
+  };
+
+  static std::string bucketId(const CacheKey& key);
+  std::string entryPath(const CacheKey& key) const;
+  void loadDirectory();
+  void persist(const CacheKey& key, const flow::FlowResult& result);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Entry>> buckets_;
+  CacheStats stats_;
+};
+
+}  // namespace lamp::svc
+
+#endif  // LAMP_SVC_CACHE_H

@@ -1,0 +1,104 @@
+#include "svc/proto.h"
+
+#include "flow/flow_json.h"
+#include "util/json.h"
+
+namespace lamp::svc {
+
+using util::Json;
+
+namespace {
+
+std::string idText(const Json* id) {
+  if (id == nullptr) return "";
+  if (id->isString()) return id->asString();
+  if (id->isNumber() || id->isBool()) return id->dump();
+  return "";
+}
+
+}  // namespace
+
+std::optional<Request> parseRequest(const std::string& line,
+                                    std::string* error, std::string* idOut) {
+  const auto fail = [&](const std::string& msg) -> std::optional<Request> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  std::string parseError;
+  const auto doc = Json::parse(line, &parseError);
+  if (!doc) return fail("malformed JSON: " + parseError);
+  if (!doc->isObject()) return fail("request is not an object");
+
+  Request req;
+  req.id = idText(doc->find("id"));
+  if (idOut) *idOut = req.id;
+
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "id") {
+      // already captured
+    } else if (key == "cmd") {
+      req.cmd = value.asString();
+    } else if (key == "ms") {
+      req.sleepMs = value.asDouble();
+    } else if (key == "benchmark") {
+      if (!value.isString()) return fail("benchmark must be a string");
+      req.benchmark = value.asString();
+    } else if (key == "graph") {
+      if (!value.isString()) return fail("graph must be a string");
+      req.graphText = value.asString();
+    } else if (key == "method") {
+      if (!flow::parseMethodToken(value.asString(), req.method)) {
+        return fail("unknown method '" + value.asString() + "'");
+      }
+    } else if (key == "options") {
+      std::string optError;
+      if (!flow::optionsFromJson(value, req.options, &optError)) {
+        return fail("bad options: " + optError);
+      }
+    } else if (key == "deadlineMs") {
+      req.deadlineMs = value.asDouble();
+    } else if (key == "paperScale") {
+      req.paperScale = value.asBool();
+    } else if (key == "noCache") {
+      req.noCache = value.asBool();
+    } else {
+      return fail("unknown request key '" + key + "'");
+    }
+  }
+
+  if (req.cmd.empty()) {
+    if (req.benchmark.empty() == req.graphText.empty()) {
+      return fail("exactly one of 'benchmark' or 'graph' is required");
+    }
+  } else if (req.cmd != "stats" && req.cmd != "sleep") {
+    return fail("unknown cmd '" + req.cmd + "'");
+  }
+  return req;
+}
+
+std::string errorResponse(const std::string& id, std::string_view status,
+                          const std::string& message,
+                          const flow::FlowResult* partial) {
+  Json j = Json::object();
+  j.set("id", Json::string(id));
+  j.set("ok", Json::boolean(false));
+  j.set("status", Json::string(std::string(status)));
+  j.set("error", Json::string(message));
+  if (partial != nullptr) j.set("result", flow::resultToJson(*partial));
+  return j.dump();
+}
+
+std::string resultResponse(const std::string& id, std::string_view cacheState,
+                           double queueMs, double wallMs,
+                           const flow::FlowResult& result) {
+  Json j = Json::object();
+  j.set("id", Json::string(id));
+  j.set("ok", Json::boolean(true));
+  j.set("cache", Json::string(std::string(cacheState)));
+  j.set("queueMs", Json::number(queueMs));
+  j.set("wallMs", Json::number(wallMs));
+  j.set("result", flow::resultToJson(result));
+  return j.dump();
+}
+
+}  // namespace lamp::svc

@@ -1,0 +1,70 @@
+#ifndef LAMP_SVC_PROTO_H
+#define LAMP_SVC_PROTO_H
+
+/// \file proto.h
+/// The lampd wire protocol: newline-delimited JSON, one request and one
+/// response per line. Responses carry the request's "id" so clients may
+/// pipeline; completion order is not arrival order.
+///
+/// Request:
+///   {"id": "r1",
+///    "benchmark": "RS" | "graph": "<ir::writeText text>",
+///    "method": "hls" | "base" | "map",           // default "map"
+///    "options": {"ii":1, "tcpNs":10, "alpha":0.5, "beta":0.5, "k":4,
+///                "timeLimitSeconds":20, "latencyMargin":1,
+///                "verifyFrames":8, "verifySeed":1, "solverThreads":1},
+///    "deadlineMs": 5000,      // optional total budget (queue + solve)
+///    "paperScale": true,      // optional, benchmark-name requests only
+///    "noCache": true}         // optional, bypass the solution cache
+///
+/// Control requests: {"cmd": "stats"} and {"cmd": "sleep", "ms": N}
+/// (the latter occupies a worker — a test/diagnostics hook).
+///
+/// Success response:
+///   {"id":"r1","ok":true,"cache":"hit"|"warm"|"miss"|"off",
+///    "queueMs":..,"wallMs":..,"result":{...flow::resultToJson...}}
+/// Failure response:
+///   {"id":"r1","ok":false,"status":"bad_request"|"overloaded"|
+///    "deadline_exceeded"|"flow_failed","error":"...",
+///    ["result":{...}]}      // flow_failed keeps the partial result
+///
+/// "overloaded" is the bounded-admission rejection: the daemon never
+/// buffers beyond its queue cap, it sheds load explicitly.
+
+#include <optional>
+#include <string>
+
+#include "flow/flow.h"
+
+namespace lamp::svc {
+
+struct Request {
+  std::string id;                ///< echoed verbatim ("" if absent)
+  std::string cmd;               ///< "", "stats" or "sleep"
+  double sleepMs = 0.0;
+  std::string benchmark;         ///< built-in benchmark name, or
+  std::string graphText;         ///< inline .lamp graph text
+  flow::Method method = flow::Method::MilpMap;
+  flow::FlowOptions options;
+  double deadlineMs = 0.0;       ///< 0 = no deadline
+  bool paperScale = false;
+  bool noCache = false;
+};
+
+/// Parses one request line. Unknown top-level or option keys fail the
+/// parse (protocol drift guard). On failure returns std::nullopt with
+/// `error` and `idOut` (best-effort) filled.
+std::optional<Request> parseRequest(const std::string& line,
+                                    std::string* error, std::string* idOut);
+
+std::string errorResponse(const std::string& id, std::string_view status,
+                          const std::string& message,
+                          const flow::FlowResult* partial = nullptr);
+
+std::string resultResponse(const std::string& id, std::string_view cacheState,
+                           double queueMs, double wallMs,
+                           const flow::FlowResult& result);
+
+}  // namespace lamp::svc
+
+#endif  // LAMP_SVC_PROTO_H

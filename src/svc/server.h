@@ -1,0 +1,65 @@
+#ifndef LAMP_SVC_SERVER_H
+#define LAMP_SVC_SERVER_H
+
+/// \file server.h
+/// Transports in front of svc::Service: a stdio loop (`lampd --stdio`,
+/// used by tests and the replay harness) and a Unix-domain socket
+/// listener (`lampd --socket=PATH`). Both speak the NDJSON protocol of
+/// proto.h; responses are written in completion order, clients correlate
+/// by id.
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace lamp::svc {
+
+/// Reads newline-delimited requests from `in` until EOF, writes each
+/// response (completion order) to `out`, flushing per line. Returns the
+/// number of requests read after all responses have been written.
+std::size_t serveStream(Service& svc, std::istream& in, std::ostream& out);
+
+/// Unix-domain socket front end. One reader thread per connection;
+/// responses are serialized per connection.
+class UnixServer {
+ public:
+  UnixServer(Service& svc, std::string socketPath);
+  ~UnixServer();
+  UnixServer(const UnixServer&) = delete;
+  UnixServer& operator=(const UnixServer&) = delete;
+
+  /// Binds and listens. Returns false with `error` filled on failure.
+  bool listen(std::string* error);
+
+  /// Blocking accept loop; returns after stop() (or a listen error).
+  void run();
+
+  /// Closes the listening socket (unblocking run()) and joins finished
+  /// connection threads. Live connections end when their peers hang up.
+  /// Not async-signal-safe; call from normal context after run() returns.
+  void stop();
+
+  /// Async-signal-safe shutdown trigger: unblocks the accept loop so
+  /// run() returns. The signal handler calls this; main then calls
+  /// stop() to join.
+  void requestStop();
+
+  const std::string& socketPath() const { return path_; }
+
+ private:
+  void handleClient(int fd);
+
+  Service& svc_;
+  std::string path_;
+  int listenFd_ = -1;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> clients_;
+};
+
+}  // namespace lamp::svc
+
+#endif  // LAMP_SVC_SERVER_H

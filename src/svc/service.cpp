@@ -1,0 +1,245 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "flow/flow_json.h"
+#include "ir/passes.h"
+#include "util/json.h"
+#include "util/timer.h"
+#include "workloads/workloads.h"
+
+namespace lamp::svc {
+
+using util::Json;
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir) {
+  if (opts_.workers <= 0) opts_.workers = util::ThreadPool::defaultThreads();
+  if (opts_.queueCap < 1) opts_.queueCap = 1;
+  pool_ = std::make_unique<util::ThreadPool>(opts_.workers);
+}
+
+Service::~Service() { pool_->wait(); }
+
+void Service::drain() { pool_->wait(); }
+
+void Service::submit(const std::string& line,
+                     std::function<void(std::string)> done) {
+  counters_.received.fetch_add(1, std::memory_order_relaxed);
+
+  std::string error, id;
+  auto req = parseRequest(line, &error, &id);
+  if (!req) {
+    counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+    done(errorResponse(id, "bad_request", error));
+    return;
+  }
+
+  if (req->cmd == "stats") {  // served inline, never queued
+    counters_.served.fetch_add(1, std::memory_order_relaxed);
+    done(statsJson());
+    return;
+  }
+
+  // Bounded admission: reject instead of buffering without limit. The
+  // counter tracks admitted-but-not-started requests, so the cap bounds
+  // queueing delay independently of how long individual solves run.
+  int depth = queued_.load(std::memory_order_relaxed);
+  do {
+    if (depth >= opts_.queueCap) {
+      counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
+      done(errorResponse(req->id, "overloaded",
+                         "admission queue full (cap " +
+                             std::to_string(opts_.queueCap) + ")"));
+      return;
+    }
+  } while (!queued_.compare_exchange_weak(depth, depth + 1,
+                                          std::memory_order_relaxed));
+
+  pool_->submit([this, req = std::move(*req), done = std::move(done),
+                 enqueued = std::chrono::steady_clock::now()]() mutable {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    const double queueMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count();
+    done(process(req, queueMs));
+  });
+}
+
+std::string Service::call(const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string response;
+  bool ready = false;
+  submit(line, [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = std::move(r);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return response;
+}
+
+std::string Service::process(const Request& req, double queueMs) {
+  if (req.cmd == "sleep") {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(req.sleepMs));
+    counters_.served.fetch_add(1, std::memory_order_relaxed);
+    Json j = Json::object();
+    j.set("id", Json::string(req.id));
+    j.set("ok", Json::boolean(true));
+    j.set("sleptMs", Json::number(req.sleepMs));
+    return j.dump();
+  }
+
+  // Deadline check on pickup: a request that spent its whole budget in
+  // the queue is answered without burning a solve on it.
+  if (req.deadlineMs > 0 && queueMs >= req.deadlineMs) {
+    counters_.deadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+    return errorResponse(req.id, "deadline_exceeded",
+                         "deadline of " + std::to_string(req.deadlineMs) +
+                             " ms expired after " + std::to_string(queueMs) +
+                             " ms in queue");
+  }
+  return runFlowRequest(req, queueMs);
+}
+
+std::string Service::runFlowRequest(const Request& req, double queueMs) {
+  util::Stopwatch wall;
+
+  // Resolve the graph: a built-in benchmark or an inline .lamp graph.
+  workloads::Benchmark bm;
+  if (!req.benchmark.empty()) {
+    const auto scale =
+        req.paperScale ? workloads::Scale::Paper : workloads::Scale::Default;
+    bool found = false;
+    for (auto& candidate : workloads::allBenchmarks(scale)) {
+      if (candidate.name == req.benchmark) {
+        bm = std::move(candidate);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+      return errorResponse(req.id, "bad_request",
+                           "unknown benchmark '" + req.benchmark + "'");
+    }
+  } else {
+    std::istringstream in(req.graphText);
+    std::string parseError;
+    auto g = ir::readText(in, &parseError);
+    if (!g) {
+      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+      return errorResponse(req.id, "bad_request",
+                           "graph parse error: " + parseError);
+    }
+    bm = workloads::benchmarkFromGraph(std::move(*g), "service request");
+  }
+
+  flow::FlowOptions opts = req.options;
+  opts.solverTimeLimitSeconds =
+      std::min(opts.solverTimeLimitSeconds, opts_.maxTimeLimitSeconds);
+  if (req.deadlineMs > 0) {
+    // Leave the remaining budget to the solver; queue time already spent
+    // counts against it.
+    opts.solverTimeLimitSeconds = std::min(
+        opts.solverTimeLimitSeconds, (req.deadlineMs - queueMs) / 1000.0);
+  }
+
+  const bool useCache = opts_.cacheEnabled && !req.noCache;
+  CacheKey key;
+  if (useCache) {
+    key.canonical = ir::canonicalHash(bm.graph);
+    key.layout = ir::layoutHash(bm.graph);
+    key.hardKey = flow::hardOptionKey(req.method, opts);
+    // paperScale picks a different graph per name, but the graph hash
+    // already separates the two sizes — no need to key on the flag.
+    key.tcpNs = opts.tcpNs;
+    key.timeLimitSeconds = opts.solverTimeLimitSeconds;
+  }
+
+  std::string cacheState = useCache ? "miss" : "off";
+  flow::FlowResult warmSource;
+  if (useCache) {
+    SolutionCache::Lookup hit = cache_.lookup(key);
+    if (hit.kind == SolutionCache::Lookup::Kind::Exact) {
+      counters_.served.fetch_add(1, std::memory_order_relaxed);
+      return resultResponse(req.id, "hit", queueMs, wall.seconds() * 1000.0,
+                            hit.result);
+    }
+    if (hit.kind == SolutionCache::Lookup::Kind::Warm) {
+      cacheState = "warm";
+      warmSource = std::move(hit.result);
+      opts.warmStartHint = &warmSource.schedule;
+    }
+  }
+
+  const flow::FlowResult result = flow::runFlow(bm, req.method, opts);
+  if (useCache && result.success) cache_.insert(key, result);
+
+  if (!result.success) {
+    counters_.flowFailures.fetch_add(1, std::memory_order_relaxed);
+    // The partial result rides along: a verification failure after a
+    // successful solve still carries its schedule and solver stats.
+    return errorResponse(req.id, "flow_failed", result.error, &result);
+  }
+  counters_.served.fetch_add(1, std::memory_order_relaxed);
+  return resultResponse(req.id, cacheState, queueMs, wall.seconds() * 1000.0,
+                        result);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.received = counters_.received.load(std::memory_order_relaxed);
+  s.served = counters_.served.load(std::memory_order_relaxed);
+  s.badRequests = counters_.badRequests.load(std::memory_order_relaxed);
+  s.overloaded = counters_.overloaded.load(std::memory_order_relaxed);
+  s.deadlineExceeded =
+      counters_.deadlineExceeded.load(std::memory_order_relaxed);
+  s.flowFailures = counters_.flowFailures.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Service::statsJson() const {
+  const ServiceStats s = stats();
+  const CacheStats c = cache_.stats();
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  Json stats = Json::object();
+  stats.set("received", Json::integer(static_cast<std::int64_t>(s.received)));
+  stats.set("served", Json::integer(static_cast<std::int64_t>(s.served)));
+  stats.set("badRequests",
+            Json::integer(static_cast<std::int64_t>(s.badRequests)));
+  stats.set("overloaded",
+            Json::integer(static_cast<std::int64_t>(s.overloaded)));
+  stats.set("deadlineExceeded",
+            Json::integer(static_cast<std::int64_t>(s.deadlineExceeded)));
+  stats.set("flowFailures",
+            Json::integer(static_cast<std::int64_t>(s.flowFailures)));
+  stats.set("workers", Json::integer(opts_.workers));
+  stats.set("queueCap", Json::integer(opts_.queueCap));
+  Json cache = Json::object();
+  cache.set("entries", Json::integer(static_cast<std::int64_t>(cache_.size())));
+  cache.set("exactHits",
+            Json::integer(static_cast<std::int64_t>(c.exactHits)));
+  cache.set("warmHits", Json::integer(static_cast<std::int64_t>(c.warmHits)));
+  cache.set("misses", Json::integer(static_cast<std::int64_t>(c.misses)));
+  cache.set("inserts", Json::integer(static_cast<std::int64_t>(c.inserts)));
+  cache.set("loadedFromDisk",
+            Json::integer(static_cast<std::int64_t>(c.loadedFromDisk)));
+  cache.set("dir", Json::string(cache_.directory()));
+  stats.set("cache", std::move(cache));
+  j.set("stats", std::move(stats));
+  return j.dump();
+}
+
+}  // namespace lamp::svc

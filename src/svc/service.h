@@ -1,0 +1,105 @@
+#ifndef LAMP_SVC_SERVICE_H
+#define LAMP_SVC_SERVICE_H
+
+/// \file service.h
+/// The scheduling service: parses protocol requests (proto.h), admits
+/// them into a *bounded* queue in front of the PR-1 thread pool, serves
+/// repeats from the content-addressed solution cache (cache.h), and
+/// renders responses. Transport-agnostic — server.h plugs stdio or a
+/// Unix socket in front, tests and benches call it directly.
+///
+/// Request lifecycle:
+///   parse -> admission (queue depth < queueCap, else "overloaded")
+///         -> worker picks up (deadline re-checked; expired requests are
+///            answered "deadline_exceeded" without solving)
+///         -> cache lookup (exact hit -> cached result verbatim;
+///            near miss -> cached schedule becomes the MILP warm-start
+///            incumbent; miss -> cold solve)
+///         -> successful solves inserted (and persisted) into the cache
+///         -> response via the completion callback.
+///
+/// Back-pressure is explicit: the queue never grows past queueCap, so a
+/// traffic burst costs each rejected client one round-trip instead of
+/// unbounded daemon memory and unbounded queueing delay for everyone.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "svc/cache.h"
+#include "svc/proto.h"
+#include "util/thread_pool.h"
+
+namespace lamp::svc {
+
+struct ServiceOptions {
+  /// Worker threads (<= 0: util::ThreadPool::defaultThreads()).
+  int workers = 0;
+  /// Bounded admission: maximum requests admitted but not yet started.
+  /// Beyond it, submissions are rejected with status "overloaded".
+  int queueCap = 64;
+  /// Solution-cache directory ("" = in-memory cache only).
+  std::string cacheDir;
+  /// Upper clamp on any request's solver time limit.
+  double maxTimeLimitSeconds = 300.0;
+  /// Disables the cache entirely (every request solves cold).
+  bool cacheEnabled = true;
+};
+
+struct ServiceStats {
+  std::uint64_t received = 0;
+  std::uint64_t served = 0;
+  std::uint64_t badRequests = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadlineExceeded = 0;
+  std::uint64_t flowFailures = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+  ~Service();  ///< drains all in-flight work
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Asynchronous entry point: parses and admits `line`; `done` receives
+  /// exactly one response line, possibly on a worker thread and possibly
+  /// before submit returns (rejections respond inline).
+  void submit(const std::string& line, std::function<void(std::string)> done);
+
+  /// Synchronous convenience wrapper (waits for the response).
+  std::string call(const std::string& line);
+
+  /// Blocks until every admitted request has been answered.
+  void drain();
+
+  std::string statsJson() const;
+  ServiceStats stats() const;
+  const SolutionCache& cache() const { return cache_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  std::string process(const Request& req, double queueMs);
+  std::string runFlowRequest(const Request& req, double queueMs);
+
+  ServiceOptions opts_;
+  SolutionCache cache_;
+  std::atomic<int> queued_{0};
+  struct Counters {
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> badRequests{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> deadlineExceeded{0};
+    std::atomic<std::uint64_t> flowFailures{0};
+  } counters_;
+  /// Declared last: the pool's destructor runs first and joins workers
+  /// while the members above are still alive.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace lamp::svc
+
+#endif  // LAMP_SVC_SERVICE_H

@@ -1,0 +1,120 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lamp::util {
+
+namespace {
+
+bool fillAddr(const std::string& path, sockaddr_un& addr, std::string& error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int listenUnixSocket(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fillAddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // drop a stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error = "bind " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    error = "listen " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connectUnixSocket(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fillAddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int acceptClient(int listenFd) {
+  while (true) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void closeFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool LineChannel::readLine(std::string& out) {
+  while (true) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (!buf_.empty()) {  // deliver a trailing unterminated line
+      out = std::move(buf_);
+      buf_.clear();
+      return true;
+    }
+    return false;
+  }
+}
+
+bool LineChannel::writeLine(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lamp::util

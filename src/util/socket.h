@@ -1,0 +1,54 @@
+#ifndef LAMP_UTIL_SOCKET_H
+#define LAMP_UTIL_SOCKET_H
+
+/// \file socket.h
+/// Unix-domain stream sockets plus a buffered newline-delimited line
+/// channel — the transport under lampd's NDJSON protocol. POSIX-only by
+/// design (the service is a local daemon; remote transports would sit in
+/// front of it).
+
+#include <string>
+#include <string_view>
+
+namespace lamp::util {
+
+/// Binds and listens on a Unix-domain stream socket, replacing any stale
+/// socket file at `path`. Returns the listening fd, or -1 with `error`
+/// filled.
+int listenUnixSocket(const std::string& path, std::string& error);
+
+/// Connects to a Unix-domain stream socket. Returns the fd, or -1 with
+/// `error` filled.
+int connectUnixSocket(const std::string& path, std::string& error);
+
+/// Blocking accept that retries on EINTR. Returns -1 when the listening
+/// socket has been closed (the shutdown path).
+int acceptClient(int listenFd);
+
+/// Closes an fd if valid (EINTR-safe no-op wrapper).
+void closeFd(int fd);
+
+/// Buffered line reader/writer over one socket fd. Reads are buffered
+/// internally; writes push the full line (plus '\n') through partial
+/// writes. Not internally synchronized — writers serialize externally.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Reads one '\n'-terminated line (terminator stripped). Returns false
+  /// on EOF or error. A final unterminated line is delivered as-is.
+  bool readLine(std::string& out);
+
+  /// Writes `line` plus a trailing newline. Returns false on error.
+  bool writeLine(std::string_view line);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace lamp::util
+
+#endif  // LAMP_UTIL_SOCKET_H

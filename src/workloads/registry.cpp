@@ -2,6 +2,25 @@
 
 namespace lamp::workloads {
 
+Benchmark benchmarkFromGraph(ir::Graph g, std::string description) {
+  Benchmark bm;
+  bm.name = g.name();
+  bm.domain = "User";
+  bm.description = std::move(description);
+  bm.graph = std::move(g);
+  const std::vector<ir::NodeId> ins = bm.graph.inputs();
+  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
+    sim::InputFrame f;
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + iter;
+    for (const ir::NodeId id : ins) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f[id] = state >> 13;
+    }
+    return f;
+  };
+  return bm;
+}
+
 std::vector<Benchmark> allBenchmarks(Scale scale) {
   std::vector<Benchmark> result;
   result.push_back(makeClz(scale));

@@ -68,6 +68,12 @@ Benchmark makeGsm(Scale scale);
 /// All nine, in Table 1 order.
 std::vector<Benchmark> allBenchmarks(Scale scale);
 
+/// Wraps a user-supplied CDFG as a runnable Benchmark: deterministic
+/// PRNG input frames, no memory init, no resource limits. Shared by the
+/// lampc file loader and the lampd service so external graphs get
+/// identical verification behaviour everywhere.
+Benchmark benchmarkFromGraph(ir::Graph g, std::string description = "");
+
 // --- golden references (for tests) ---------------------------------------------
 
 /// Leading zeros of the low `width` bits of v (width if zero).

@@ -1,0 +1,188 @@
+// Tests for the structural CDFG digests (ir/hash.h) that address the
+// lampd solution cache: the canonical hash must be invariant under node
+// permutation and renaming, and sensitive to every structural detail a
+// schedule depends on (opcodes, widths, constants, edge distances).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "ir/hash.h"
+#include "workloads/workloads.h"
+
+namespace lamp::ir {
+namespace {
+
+using workloads::Benchmark;
+using workloads::Scale;
+
+std::vector<Benchmark> testBenchmarks() {
+  return workloads::allBenchmarks(Scale::Default);
+}
+
+/// Rebuilds `g` with node ids shuffled by `perm` (perm[oldId] = newId).
+/// Graph::add accepts forward references, so the permuted emission order
+/// need not be topological.
+Graph permuteGraph(const Graph& g, const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inverse(perm.size());
+  for (NodeId old = 0; old < g.size(); ++old) inverse[perm[old]] = old;
+  Graph out(g.name());
+  for (NodeId id = 0; id < g.size(); ++id) {
+    Node n = g.node(inverse[id]);
+    for (Edge& e : n.operands) e.src = perm[e.src];
+    out.add(std::move(n));
+  }
+  return out;
+}
+
+Node makeNode(OpKind kind, std::uint16_t width,
+              std::vector<Edge> operands = {}) {
+  Node n;
+  n.kind = kind;
+  n.width = width;
+  n.operands = std::move(operands);
+  return n;
+}
+
+std::vector<NodeId> randomPermutation(std::size_t n, std::uint32_t seed) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  std::mt19937 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+TEST(HashTest, HexRoundTrip) {
+  for (const Benchmark& bm : testBenchmarks()) {
+    const GraphDigest d = canonicalHash(bm.graph);
+    const std::string hex = d.hex();
+    EXPECT_EQ(hex.size(), 32u);
+    const auto back = GraphDigest::fromHex(hex);
+    ASSERT_TRUE(back.has_value()) << bm.name;
+    EXPECT_EQ(*back, d) << bm.name;
+  }
+  EXPECT_FALSE(GraphDigest::fromHex("not-a-digest").has_value());
+  EXPECT_FALSE(GraphDigest::fromHex("0123").has_value());
+}
+
+TEST(HashTest, CanonicalInvariantUnderPermutation) {
+  // Property over all nine workload generators: any node renumbering
+  // leaves the canonical hash unchanged, while the layout hash (which
+  // pins NodeId order for schedule replay) changes.
+  for (const Benchmark& bm : testBenchmarks()) {
+    const GraphDigest canon = canonicalHash(bm.graph);
+    const GraphDigest layout = layoutHash(bm.graph);
+    for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+      const auto perm = randomPermutation(bm.graph.size(), seed);
+      const Graph shuffled = permuteGraph(bm.graph, perm);
+      EXPECT_EQ(canonicalHash(shuffled), canon)
+          << bm.name << " perm seed " << seed;
+      if (!std::is_sorted(perm.begin(), perm.end())) {
+        EXPECT_NE(layoutHash(shuffled), layout)
+            << bm.name << " perm seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(HashTest, BothHashesIgnoreNames) {
+  for (const Benchmark& bm : testBenchmarks()) {
+    Graph renamed = bm.graph;
+    renamed.setName("completely_different");
+    for (NodeId id = 0; id < renamed.size(); ++id) {
+      renamed.node(id).name = "n_" + std::to_string(id * 7 + 3);
+    }
+    EXPECT_EQ(canonicalHash(renamed), canonicalHash(bm.graph)) << bm.name;
+    EXPECT_EQ(layoutHash(renamed), layoutHash(bm.graph)) << bm.name;
+  }
+}
+
+TEST(HashTest, OneBitConstantChangeChangesHash) {
+  for (const Benchmark& bm : testBenchmarks()) {
+    Graph g = bm.graph;
+    NodeId constId = kNoNode;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      if (g.node(id).kind == OpKind::Const) {
+        constId = id;
+        break;
+      }
+    }
+    if (constId == kNoNode) continue;  // benchmark without constants
+    g.node(constId).constValue ^= 1;
+    EXPECT_NE(canonicalHash(g), canonicalHash(bm.graph)) << bm.name;
+    EXPECT_NE(layoutHash(g), layoutHash(bm.graph)) << bm.name;
+  }
+}
+
+TEST(HashTest, WidthChangeChangesHash) {
+  for (const Benchmark& bm : testBenchmarks()) {
+    Graph g = bm.graph;
+    g.node(0).width = static_cast<std::uint16_t>(g.node(0).width + 1);
+    EXPECT_NE(canonicalHash(g), canonicalHash(bm.graph)) << bm.name;
+  }
+}
+
+TEST(HashTest, EdgeDistanceChangeChangesHash) {
+  for (const Benchmark& bm : testBenchmarks()) {
+    Graph g = bm.graph;
+    NodeId withOperand = kNoNode;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      if (!g.node(id).operands.empty()) {
+        withOperand = id;
+        break;
+      }
+    }
+    ASSERT_NE(withOperand, kNoNode) << bm.name;
+    g.node(withOperand).operands[0].dist += 1;
+    EXPECT_NE(canonicalHash(g), canonicalHash(bm.graph)) << bm.name;
+  }
+}
+
+TEST(HashTest, BenchmarksAreMutuallyDistinct) {
+  const auto benchmarks = testBenchmarks();
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    for (std::size_t j = i + 1; j < benchmarks.size(); ++j) {
+      EXPECT_NE(canonicalHash(benchmarks[i].graph),
+                canonicalHash(benchmarks[j].graph))
+          << benchmarks[i].name << " vs " << benchmarks[j].name;
+    }
+  }
+}
+
+TEST(HashTest, OperandOrderMatters) {
+  // a - b and b - a are different computations; swapping operand order
+  // must change the canonical hash even though the multiset of edges is
+  // identical.
+  Graph g1("sub");
+  const NodeId a1 = g1.add(makeNode(OpKind::Input, 8));
+  const NodeId b1 = g1.add(makeNode(OpKind::Input, 8));
+  g1.add(makeNode(OpKind::Sub, 8, {{a1, 0}, {b1, 0}}));
+
+  Graph g2("sub");
+  const NodeId a2 = g2.add(makeNode(OpKind::Input, 8));
+  const NodeId b2 = g2.add(makeNode(OpKind::Input, 8));
+  g2.add(makeNode(OpKind::Sub, 8, {{b2, 0}, {a2, 0}}));
+
+  // The two inputs are structurally symmetric here, so swapping them is a
+  // graph automorphism: hashes must be EQUAL. Break the symmetry by
+  // width, then expect inequality.
+  EXPECT_EQ(canonicalHash(g1), canonicalHash(g2));
+
+  Graph g3("sub");
+  const NodeId a3 = g3.add(makeNode(OpKind::Input, 8));
+  const NodeId b3 = g3.add(makeNode(OpKind::Input, 16));
+  g3.add(makeNode(OpKind::Sub, 16, {{a3, 0}, {b3, 0}}));
+
+  Graph g4("sub");
+  const NodeId a4 = g4.add(makeNode(OpKind::Input, 8));
+  const NodeId b4 = g4.add(makeNode(OpKind::Input, 16));
+  g4.add(makeNode(OpKind::Sub, 16, {{b4, 0}, {a4, 0}}));
+
+  EXPECT_NE(canonicalHash(g3), canonicalHash(g4));
+}
+
+}  // namespace
+}  // namespace lamp::ir

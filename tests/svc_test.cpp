@@ -1,0 +1,431 @@
+// Tests for the lampd scheduling service: lossless FlowResult JSON
+// round-trips, solution-cache hit/warm/miss semantics, end-to-end
+// request handling (cache hits bit-identical to the first solve),
+// bounded-admission overload shedding, deadlines, on-disk persistence
+// across service restarts, and warm-start objective parity with cold
+// solves.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/flow_json.h"
+#include "svc/cache.h"
+#include "svc/service.h"
+#include "util/json.h"
+
+namespace lamp::svc {
+namespace {
+
+using util::Json;
+
+/// One short GFMUL solve, shared by every test that just needs *a*
+/// successful FlowResult (the 5s limit need not prove optimality).
+const flow::FlowResult& solveSmall() {
+  static const flow::FlowResult r = [] {
+    for (auto& bm : workloads::allBenchmarks(workloads::Scale::Default)) {
+      if (bm.name == "GFMUL") {
+        flow::FlowOptions o;
+        o.solverTimeLimitSeconds = 5.0;
+        return flow::runFlow(bm, flow::Method::MilpMap, o);
+      }
+    }
+    return flow::FlowResult{};
+  }();
+  return r;
+}
+
+TEST(FlowJsonTest, ResultRoundTripIsLossless) {
+  const flow::FlowResult r = solveSmall();
+  ASSERT_TRUE(r.success) << r.error;
+  const std::string first = flow::resultToJson(r).dump();
+
+  const auto doc = Json::parse(first);
+  ASSERT_TRUE(doc.has_value());
+  flow::FlowResult back;
+  std::string err;
+  ASSERT_TRUE(flow::resultFromJson(*doc, back, &err)) << err;
+
+  // Bit-identity: serialize -> parse -> serialize must reproduce the
+  // exact bytes (doubles included) — the cache's core guarantee.
+  EXPECT_EQ(flow::resultToJson(back).dump(), first);
+  EXPECT_EQ(back.schedule.cycle, r.schedule.cycle);
+  EXPECT_EQ(back.schedule.selectedCut, r.schedule.selectedCut);
+  EXPECT_EQ(back.area.luts, r.area.luts);
+  EXPECT_EQ(back.area.ffs, r.area.ffs);
+  EXPECT_EQ(back.objective, r.objective);
+  EXPECT_EQ(back.status, r.status);
+}
+
+TEST(FlowJsonTest, ResultFromJsonRejectsMalformed) {
+  flow::FlowResult out;
+  std::string err;
+  const auto notObject = Json::parse("[1,2,3]");
+  ASSERT_TRUE(notObject.has_value());
+  EXPECT_FALSE(flow::resultFromJson(*notObject, out, &err));
+
+  // Schedule arrays of unequal length are inconsistent.
+  const flow::FlowResult r = solveSmall();
+  ASSERT_TRUE(r.success);
+  Json doc = flow::resultToJson(r);
+  Json* sched = const_cast<Json*>(doc.find("schedule"));
+  ASSERT_NE(sched, nullptr);
+  Json* cycle = const_cast<Json*>(sched->find("cycle"));
+  ASSERT_NE(cycle, nullptr);
+  cycle->push(Json::integer(0));
+  EXPECT_FALSE(flow::resultFromJson(doc, out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FlowJsonTest, OptionsRejectUnknownKeys) {
+  flow::FlowOptions opts;
+  std::string err;
+  const auto ok = Json::parse(R"({"ii":2,"tcpNs":8.5,"k":6})");
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_TRUE(flow::optionsFromJson(*ok, opts, &err)) << err;
+  EXPECT_EQ(opts.ii, 2);
+  EXPECT_EQ(opts.tcpNs, 8.5);
+  EXPECT_EQ(opts.cuts.k, 6);
+
+  const auto bad = Json::parse(R"({"ii":2,"unknownKnob":1})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(flow::optionsFromJson(*bad, opts, &err));
+  EXPECT_NE(err.find("unknownKnob"), std::string::npos);
+}
+
+CacheKey keyFor(const flow::FlowResult& r, double tcpNs, double timeLimit) {
+  // The graph hashes only have to be consistent within the test.
+  CacheKey key;
+  key.canonical = ir::GraphDigest{1, 2};
+  key.layout = ir::GraphDigest{3, 4};
+  flow::FlowOptions o;
+  key.hardKey = flow::hardOptionKey(r.method, o);
+  key.tcpNs = tcpNs;
+  key.timeLimitSeconds = timeLimit;
+  return key;
+}
+
+TEST(CacheTest, ExactWarmAndMissSemantics) {
+  const flow::FlowResult r = solveSmall();
+  ASSERT_TRUE(r.success) << r.error;
+  SolutionCache cache;
+
+  const CacheKey base = keyFor(r, 10.0, 20.0);
+  EXPECT_EQ(cache.lookup(base).kind, SolutionCache::Lookup::Kind::Miss);
+  cache.insert(base, r);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same soft axes: exact hit, stored result returned verbatim.
+  const auto exact = cache.lookup(base);
+  EXPECT_EQ(exact.kind, SolutionCache::Lookup::Kind::Exact);
+  EXPECT_EQ(flow::resultToJson(exact.result).dump(),
+            flow::resultToJson(r).dump());
+
+  // Looser clock target: warm hit (schedule feasible at 10ns stays
+  // feasible at 12ns).
+  const auto warm = cache.lookup(keyFor(r, 12.0, 20.0));
+  EXPECT_EQ(warm.kind, SolutionCache::Lookup::Kind::Warm);
+
+  // Different time limit at the same clock: also a warm hit.
+  EXPECT_EQ(cache.lookup(keyFor(r, 10.0, 5.0)).kind,
+            SolutionCache::Lookup::Kind::Warm);
+
+  // Tighter clock target: the cached schedule may be infeasible — miss.
+  EXPECT_EQ(cache.lookup(keyFor(r, 8.0, 20.0)).kind,
+            SolutionCache::Lookup::Kind::Miss);
+
+  // Different hard options: different bucket entirely.
+  CacheKey otherOptions = base;
+  otherOptions.hardKey += ";ii=999";
+  EXPECT_EQ(cache.lookup(otherOptions).kind,
+            SolutionCache::Lookup::Kind::Miss);
+
+  // Different graph: different bucket.
+  CacheKey otherGraph = base;
+  otherGraph.canonical = ir::GraphDigest{99, 99};
+  EXPECT_EQ(cache.lookup(otherGraph).kind, SolutionCache::Lookup::Kind::Miss);
+
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.inserts, 1u);
+  EXPECT_EQ(st.exactHits, 1u);
+  EXPECT_EQ(st.warmHits, 2u);
+  EXPECT_EQ(st.misses, 4u);
+}
+
+TEST(CacheTest, WarmPrefersTightestUsableClock) {
+  const flow::FlowResult r = solveSmall();
+  ASSERT_TRUE(r.success) << r.error;
+  SolutionCache cache;
+  flow::FlowResult r8 = r, r10 = r;
+  r8.objective = 8.0;
+  r10.objective = 10.0;
+  cache.insert(keyFor(r, 8.0, 20.0), r8);
+  cache.insert(keyFor(r, 10.0, 20.0), r10);
+
+  // A request at 11ns can reuse either entry; the one solved at the
+  // largest usable tcpNs (closest constraints) wins.
+  const auto warm = cache.lookup(keyFor(r, 11.0, 20.0));
+  ASSERT_EQ(warm.kind, SolutionCache::Lookup::Kind::Warm);
+  EXPECT_EQ(warm.result.objective, 10.0);
+}
+
+std::string requestLine(const std::string& id, const std::string& benchmark,
+                        double timeLimit = 5.0, double tcpNs = 10.0,
+                        bool noCache = false) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << id << "\",\"benchmark\":\"" << benchmark
+     << "\",\"method\":\"map\",\"options\":{\"timeLimitSeconds\":" << timeLimit
+     << ",\"tcpNs\":" << tcpNs << "}";
+  if (noCache) os << ",\"noCache\":true";
+  os << "}";
+  return os.str();
+}
+
+const Json* field(const Json& doc, const char* key) {
+  const Json* f = doc.find(key);
+  EXPECT_NE(f, nullptr) << "missing field " << key << " in " << doc.dump();
+  return f;
+}
+
+TEST(ServiceTest, RepeatedRequestHitsCacheBitIdentically) {
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+
+  const std::string line = requestLine("a", "GFMUL");
+  const std::string first = service.call(line);
+  const auto doc1 = Json::parse(first);
+  ASSERT_TRUE(doc1.has_value()) << first;
+  ASSERT_TRUE(field(*doc1, "ok")->asBool()) << first;
+  EXPECT_EQ(field(*doc1, "cache")->asString(), "miss");
+
+  const std::string second = service.call(line);
+  const auto doc2 = Json::parse(second);
+  ASSERT_TRUE(doc2.has_value()) << second;
+  ASSERT_TRUE(field(*doc2, "ok")->asBool()) << second;
+  EXPECT_EQ(field(*doc2, "cache")->asString(), "hit");
+
+  // The acceptance bar: a cache hit returns the *bit-identical* result.
+  EXPECT_EQ(field(*doc2, "result")->dump(), field(*doc1, "result")->dump());
+
+  EXPECT_EQ(service.cache().stats().exactHits, 1u);
+  EXPECT_EQ(service.stats().served, 2u);
+}
+
+TEST(ServiceTest, NoCacheRequestsBypassTheCache) {
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+  const std::string line = requestLine("a", "GFMUL", 20.0, 10.0, true);
+  service.call(line);
+  const std::string second = service.call(line);
+  const auto doc = Json::parse(second);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(field(*doc, "cache")->asString(), "off");
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(ServiceTest, MalformedRequestsAreRejectedInline) {
+  Service service;
+  for (const char* bad :
+       {"not json at all", "{\"id\":\"x\"}",
+        "{\"id\":\"x\",\"benchmark\":\"GFMUL\",\"surprise\":1}",
+        "{\"id\":\"x\",\"benchmark\":\"NO_SUCH_BENCHMARK\"}",
+        "{\"id\":\"x\",\"benchmark\":\"GFMUL\",\"options\":{\"ii\":0}}"}) {
+    const std::string resp = service.call(bad);
+    const auto doc = Json::parse(resp);
+    ASSERT_TRUE(doc.has_value()) << resp;
+    EXPECT_FALSE(field(*doc, "ok")->asBool()) << bad;
+  }
+  EXPECT_EQ(service.stats().badRequests, 5u);
+}
+
+TEST(ServiceTest, OverloadShedsExplicitly) {
+  ServiceOptions so;
+  so.workers = 1;
+  so.queueCap = 1;
+  Service service(so);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> responses;
+  const auto collect = [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(r));
+    cv.notify_all();
+  };
+
+  // One request occupies the worker (give it time to be picked up), one
+  // sits in the queue; every further submission inside the sleep window
+  // must be rejected inline with "overloaded".
+  const std::string sleeper = R"({"id":"s","cmd":"sleep","ms":800})";
+  service.submit(sleeper, collect);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  service.submit(sleeper, collect);
+  int overloaded = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string resp = service.call(sleeper);
+    if (resp.find("\"overloaded\"") != std::string::npos) ++overloaded;
+  }
+  EXPECT_GE(overloaded, 3);  // tolerate one slow-machine pickup race
+  service.drain();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responses.size() == 2u; });
+  }
+  EXPECT_GE(service.stats().overloaded, 3u);
+}
+
+TEST(ServiceTest, ExpiredDeadlineSkipsTheSolve) {
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+  std::mutex mu;
+  std::vector<std::string> sink;
+  service.submit(R"({"id":"s","cmd":"sleep","ms":300})", [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    sink.push_back(std::move(r));
+  });
+  // This request's 50ms budget burns away behind the sleeper; the worker
+  // must answer deadline_exceeded without starting the solver.
+  const std::string resp = service.call(
+      R"({"id":"d","benchmark":"RS","deadlineMs":50})");
+  const auto doc = Json::parse(resp);
+  ASSERT_TRUE(doc.has_value()) << resp;
+  EXPECT_FALSE(field(*doc, "ok")->asBool());
+  EXPECT_EQ(field(*doc, "status")->asString(), "deadline_exceeded");
+  EXPECT_EQ(service.stats().deadlineExceeded, 1u);
+  service.drain();
+}
+
+TEST(ServiceTest, DiskCacheSurvivesRestart) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "lamp_svc_cache_test";
+  std::filesystem::remove_all(dir);
+
+  const std::string line = requestLine("a", "GFMUL");
+  std::string coldResult;
+  {
+    ServiceOptions so;
+    so.workers = 1;
+    so.cacheDir = dir.string();
+    Service service(so);
+    const auto doc = Json::parse(service.call(line));
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(field(*doc, "ok")->asBool());
+    coldResult = field(*doc, "result")->dump();
+    EXPECT_EQ(service.cache().stats().inserts, 1u);
+  }
+  {
+    // A fresh service over the same directory serves the request from
+    // the reloaded cache, bit-identically, without solving.
+    ServiceOptions so;
+    so.workers = 1;
+    so.cacheDir = dir.string();
+    Service service(so);
+    EXPECT_EQ(service.cache().stats().loadedFromDisk, 1u);
+    const auto doc = Json::parse(service.call(line));
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(field(*doc, "ok")->asBool());
+    EXPECT_EQ(field(*doc, "cache")->asString(), "hit");
+    EXPECT_EQ(field(*doc, "result")->dump(), coldResult);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceTest, InlineGraphRequestsAreCachedByContent) {
+  // Two textually different graphs (node names, graph name differ) with
+  // identical structure must land in the same cache bucket.
+  const char* g1 =
+      "lampgraph v1 \"parity_a\"\n"
+      "n input 8 0 0 0 0 \"x\"\n"
+      "n input 8 0 0 0 0 \"y\"\n"
+      "n xor 8 0 0 0 2 0:0 1:0 \"p\"\n"
+      "n output 8 0 0 0 1 2:0 \"o\"\n"
+      "end\n";
+  const char* g2 =
+      "lampgraph v1 \"parity_b\"\n"
+      "n input 8 0 0 0 0 \"u\"\n"
+      "n input 8 0 0 0 0 \"v\"\n"
+      "n xor 8 0 0 0 2 0:0 1:0 \"q\"\n"
+      "n output 8 0 0 0 1 2:0 \"z\"\n"
+      "end\n";
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+  const auto lineFor = [](const char* text) {
+    Json req = Json::object();
+    req.set("id", Json::string("g"));
+    req.set("graph", Json::string(text));
+    req.set("options", *Json::parse(R"({"timeLimitSeconds":5})"));
+    return req.dump();
+  };
+  const auto doc1 = Json::parse(service.call(lineFor(g1)));
+  ASSERT_TRUE(doc1.has_value());
+  ASSERT_TRUE(field(*doc1, "ok")->asBool()) << service.call(lineFor(g1));
+  const auto doc2 = Json::parse(service.call(lineFor(g2)));
+  ASSERT_TRUE(doc2.has_value());
+  ASSERT_TRUE(field(*doc2, "ok")->asBool());
+  EXPECT_EQ(field(*doc2, "cache")->asString(), "hit");
+  EXPECT_EQ(field(*doc2, "result")->dump(), field(*doc1, "result")->dump());
+}
+
+// Warm starts must never hurt: the hint only seeds the incumbent, so a
+// warm solve's objective is never worse than the cold solve's under the
+// same budget, and exactly equal whenever both prove optimality. (On
+// time-limit-truncated instances warm can end strictly BETTER — the
+// inherited incumbent prunes subtrees the cold search wastes its budget
+// in.) Checked on three benchmarks by default; LAMP_SVC_FULL_PARITY=1
+// widens the sweep to all nine workloads (minutes of solver time).
+TEST(ServiceTest, WarmStartReachesColdObjective) {
+  std::vector<std::string> names = {"CLZ", "XORR", "GFMUL"};
+  if (const char* full = std::getenv("LAMP_SVC_FULL_PARITY");
+      full != nullptr && full[0] == '1') {
+    names = {"CLZ", "XORR", "GFMUL", "CORDIC", "MT", "AES", "RS", "DR", "GSM"};
+  }
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+  for (const std::string& name : names) {
+    // Solve at a tight clock, then request a looser clock: the second
+    // solve warm-starts from the first solve's schedule.
+    const auto seedDoc =
+        Json::parse(service.call(requestLine("seed-" + name, name, 20, 10)));
+    ASSERT_TRUE(seedDoc.has_value());
+    ASSERT_TRUE(field(*seedDoc, "ok")->asBool()) << name;
+
+    const std::string warmLine = requestLine("warm-" + name, name, 20, 12);
+    const auto warmDoc = Json::parse(service.call(warmLine));
+    ASSERT_TRUE(warmDoc.has_value());
+    ASSERT_TRUE(field(*warmDoc, "ok")->asBool()) << name;
+    EXPECT_EQ(field(*warmDoc, "cache")->asString(), "warm") << name;
+
+    const std::string coldLine =
+        requestLine("cold-" + name, name, 20, 12, /*noCache=*/true);
+    const auto coldDoc = Json::parse(service.call(coldLine));
+    ASSERT_TRUE(coldDoc.has_value());
+    ASSERT_TRUE(field(*coldDoc, "ok")->asBool()) << name;
+
+    const Json* warmSolver = field(*field(*warmDoc, "result"), "solver");
+    const Json* coldSolver = field(*field(*coldDoc, "result"), "solver");
+    const double warmObj = warmSolver->find("objective")->asDouble();
+    const double coldObj = coldSolver->find("objective")->asDouble();
+    EXPECT_LE(warmObj, coldObj + 1e-6) << name;
+    if (warmSolver->find("status")->asString() == "optimal" &&
+        coldSolver->find("status")->asString() == "optimal") {
+      EXPECT_NEAR(warmObj, coldObj, 1e-6) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lamp::svc

@@ -1,0 +1,362 @@
+// lamp-cli — client and replay harness for the lampd scheduling daemon.
+//
+// Client mode (talks to a running daemon over its Unix socket):
+//
+//   lamp-cli --socket=PATH [request options] <benchmark-name | file.lamp>
+//   lamp-cli --socket=PATH --stats
+//
+//   request options: --method=hls|base|map --ii=N --tcp=NS --alpha=A
+//   --beta=B --k=K --time-limit=SEC --deadline-ms=MS --paper-scale
+//   --no-cache --id=STR
+//
+//   Prints the raw NDJSON response line; exit 0 iff the response has
+//   "ok": true.
+//
+// Replay mode (spawns its own `lampd --stdio`, drives it through a
+// recorded request trace, checks the cache behaviour):
+//
+//   lamp-cli --exec=PATH/TO/lampd --replay=TRACE.jsonl
+//            [--passes=2] [--expect-warm-hit-ratio=0.95]
+//            [--cache-dir=DIR] [--workers=N]
+//
+//   Replays the trace --passes times through ONE daemon process and
+//   fails (exit 1) unless, in the final pass, at least the expected
+//   fraction of requests is served from the solution cache AND every
+//   cached result is bit-identical to the first pass's result for the
+//   same request id. This is the ctest target `svc_replay_cache`.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/socket.h"
+
+using namespace lamp;
+using util::Json;
+
+namespace {
+
+struct Args {
+  std::string socketPath;
+  std::string execPath;
+  std::string replayPath;
+  int passes = 2;
+  double expectWarmHitRatio = 0.95;
+  std::string cacheDir;
+  int workers = 0;
+  bool stats = false;
+
+  // Request options (client mode).
+  std::string input;
+  std::string id = "cli";
+  std::string method;
+  int ii = 0;
+  double tcp = 0.0, alpha = -1.0, beta = -1.0, timeLimit = 0.0;
+  int k = 0;
+  double deadlineMs = 0.0;
+  bool noCache = false;
+  bool paperScale = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
+  const auto valueOf = [](const std::string& s) {
+    const auto eq = s.find('=');
+    return eq == std::string::npos ? std::string() : s.substr(eq + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--socket=", 0) == 0) {
+      a.socketPath = valueOf(s);
+    } else if (s.rfind("--exec=", 0) == 0) {
+      a.execPath = valueOf(s);
+    } else if (s.rfind("--replay=", 0) == 0) {
+      a.replayPath = valueOf(s);
+    } else if (s.rfind("--passes=", 0) == 0) {
+      a.passes = std::stoi(valueOf(s));
+    } else if (s.rfind("--expect-warm-hit-ratio=", 0) == 0) {
+      a.expectWarmHitRatio = std::stod(valueOf(s));
+    } else if (s.rfind("--cache-dir=", 0) == 0) {
+      a.cacheDir = valueOf(s);
+    } else if (s.rfind("--workers=", 0) == 0) {
+      a.workers = std::stoi(valueOf(s));
+    } else if (s == "--stats") {
+      a.stats = true;
+    } else if (s.rfind("--id=", 0) == 0) {
+      a.id = valueOf(s);
+    } else if (s.rfind("--method=", 0) == 0) {
+      a.method = valueOf(s);
+    } else if (s.rfind("--ii=", 0) == 0) {
+      a.ii = std::stoi(valueOf(s));
+    } else if (s.rfind("--tcp=", 0) == 0) {
+      a.tcp = std::stod(valueOf(s));
+    } else if (s.rfind("--alpha=", 0) == 0) {
+      a.alpha = std::stod(valueOf(s));
+    } else if (s.rfind("--beta=", 0) == 0) {
+      a.beta = std::stod(valueOf(s));
+    } else if (s.rfind("--k=", 0) == 0) {
+      a.k = std::stoi(valueOf(s));
+    } else if (s.rfind("--time-limit=", 0) == 0) {
+      a.timeLimit = std::stod(valueOf(s));
+    } else if (s.rfind("--deadline-ms=", 0) == 0) {
+      a.deadlineMs = std::stod(valueOf(s));
+    } else if (s == "--no-cache") {
+      a.noCache = true;
+    } else if (s == "--paper-scale") {
+      a.paperScale = true;
+    } else if (s.rfind("--", 0) == 0) {
+      err = "unknown option " + s;
+      return false;
+    } else if (a.input.empty()) {
+      a.input = s;
+    } else {
+      err = "multiple inputs given";
+      return false;
+    }
+  }
+  const bool replay = !a.replayPath.empty();
+  if (replay && a.execPath.empty()) {
+    err = "--replay requires --exec=PATH/TO/lampd";
+    return false;
+  }
+  if (!replay && a.socketPath.empty()) {
+    err = "pass --socket=PATH (client mode) or --exec + --replay";
+    return false;
+  }
+  if (!replay && !a.stats && a.input.empty()) {
+    err = "no input; pass a benchmark name or a .lamp graph file";
+    return false;
+  }
+  return true;
+}
+
+std::string buildRequest(const Args& a, std::string& err) {
+  Json req = Json::object();
+  req.set("id", Json::string(a.id));
+  if (a.stats) {
+    req.set("cmd", Json::string("stats"));
+    return req.dump();
+  }
+  // A readable file is an inline graph; anything else is assumed to be a
+  // built-in benchmark name (the daemon validates it).
+  std::ifstream in(a.input);
+  if (in) {
+    std::stringstream ss;
+    ss << in.rdbuf();
+    req.set("graph", Json::string(ss.str()));
+  } else {
+    req.set("benchmark", Json::string(a.input));
+  }
+  if (!a.method.empty()) req.set("method", Json::string(a.method));
+  Json options = Json::object();
+  if (a.ii > 0) options.set("ii", Json::integer(a.ii));
+  if (a.tcp > 0) options.set("tcpNs", Json::number(a.tcp));
+  if (a.alpha >= 0) options.set("alpha", Json::number(a.alpha));
+  if (a.beta >= 0) options.set("beta", Json::number(a.beta));
+  if (a.k > 0) options.set("k", Json::integer(a.k));
+  if (a.timeLimit > 0) options.set("timeLimitSeconds", Json::number(a.timeLimit));
+  if (options.members().size() > 0) req.set("options", std::move(options));
+  if (a.deadlineMs > 0) req.set("deadlineMs", Json::number(a.deadlineMs));
+  if (a.noCache) req.set("noCache", Json::boolean(true));
+  if (a.paperScale) req.set("paperScale", Json::boolean(true));
+  (void)err;
+  return req.dump();
+}
+
+int clientMode(const Args& a) {
+  std::string err;
+  const std::string request = buildRequest(a, err);
+  const int fd = util::connectUnixSocket(a.socketPath, err);
+  if (fd < 0) {
+    std::cerr << "lamp-cli: " << err << "\n";
+    return 1;
+  }
+  util::LineChannel channel(fd);
+  std::string response;
+  const bool ok = channel.writeLine(request) && channel.readLine(response);
+  util::closeFd(fd);
+  if (!ok) {
+    std::cerr << "lamp-cli: daemon hung up\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  const auto doc = Json::parse(response);
+  return doc && doc->isObject() && doc->find("ok") != nullptr &&
+                 doc->find("ok")->asBool()
+             ? 0
+             : 1;
+}
+
+// --- replay mode -------------------------------------------------------------
+
+struct Daemon {
+  pid_t pid = -1;
+  int toChild = -1;    // write requests here
+  int fromChild = -1;  // read responses here
+};
+
+bool spawnDaemon(const Args& a, Daemon& d, std::string& err) {
+  int inPipe[2], outPipe[2];
+  if (pipe(inPipe) != 0 || pipe(outPipe) != 0) {
+    err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    err = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (pid == 0) {
+    dup2(inPipe[0], STDIN_FILENO);
+    dup2(outPipe[1], STDOUT_FILENO);
+    close(inPipe[0]);
+    close(inPipe[1]);
+    close(outPipe[0]);
+    close(outPipe[1]);
+    std::vector<std::string> argvStr = {a.execPath, "--stdio", "--quiet"};
+    if (!a.cacheDir.empty()) argvStr.push_back("--cache-dir=" + a.cacheDir);
+    if (a.workers > 0) {
+      argvStr.push_back("--workers=" + std::to_string(a.workers));
+    }
+    std::vector<char*> argvRaw;
+    for (std::string& s : argvStr) argvRaw.push_back(s.data());
+    argvRaw.push_back(nullptr);
+    execv(a.execPath.c_str(), argvRaw.data());
+    std::perror("lamp-cli: execv");
+    _exit(127);
+  }
+  close(inPipe[0]);
+  close(outPipe[1]);
+  d.pid = pid;
+  d.toChild = inPipe[1];
+  d.fromChild = outPipe[0];
+  return true;
+}
+
+int replayMode(const Args& a) {
+  std::ifstream trace(a.replayPath);
+  if (!trace) {
+    std::cerr << "lamp-cli: cannot read trace " << a.replayPath << "\n";
+    return 1;
+  }
+  std::vector<std::string> requests;
+  std::string line;
+  while (std::getline(trace, line)) {
+    if (!line.empty() && line[0] != '#') requests.push_back(line);
+  }
+  if (requests.empty()) {
+    std::cerr << "lamp-cli: empty trace\n";
+    return 1;
+  }
+
+  Daemon d;
+  std::string err;
+  if (!spawnDaemon(a, d, err)) {
+    std::cerr << "lamp-cli: " << err << "\n";
+    return 1;
+  }
+  util::LineChannel out(d.toChild);
+  util::LineChannel in(d.fromChild);
+
+  bool failed = false;
+  // Request id -> result serialization of the pass that solved it.
+  std::map<std::string, std::string> firstResults;
+  std::size_t finalHits = 0, finalRequests = 0;
+
+  for (int pass = 1; pass <= a.passes && !failed; ++pass) {
+    for (const std::string& req : requests) {
+      if (!out.writeLine(req)) {
+        std::cerr << "lamp-cli: write to daemon failed\n";
+        failed = true;
+        break;
+      }
+    }
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < requests.size() && !failed; ++i) {
+      std::string response;
+      if (!in.readLine(response)) {
+        std::cerr << "lamp-cli: daemon hung up mid-pass\n";
+        failed = true;
+        break;
+      }
+      const auto doc = Json::parse(response);
+      if (!doc || !doc->isObject()) {
+        std::cerr << "lamp-cli: unparsable response: " << response << "\n";
+        failed = true;
+        break;
+      }
+      const Json* ok = doc->find("ok");
+      if (ok == nullptr || !ok->asBool()) {
+        std::cerr << "lamp-cli: request failed in pass " << pass << ": "
+                  << response << "\n";
+        failed = true;
+        break;
+      }
+      const Json* cache = doc->find("cache");
+      const Json* id = doc->find("id");
+      const Json* result = doc->find("result");
+      const std::string idText = id ? id->asString() : "";
+      const std::string resultText = result ? result->dump() : "";
+      if (cache != nullptr && cache->asString() == "hit") {
+        ++hits;
+        // Bit-identity: a hit must reproduce the originally solved
+        // result exactly, byte for byte.
+        const auto it = firstResults.find(idText);
+        if (it != firstResults.end() && it->second != resultText) {
+          std::cerr << "lamp-cli: cache hit for id '" << idText
+                    << "' differs from the first-pass result\n";
+          failed = true;
+          break;
+        }
+      }
+      firstResults.emplace(idText, resultText);
+    }
+    if (pass == a.passes) {
+      finalHits = hits;
+      finalRequests = requests.size();
+    }
+    std::cerr << "lamp-cli: pass " << pass << "/" << a.passes << ": " << hits
+              << "/" << requests.size() << " served from cache\n";
+  }
+
+  close(d.toChild);  // EOF -> daemon exits
+  close(d.fromChild);
+  int status = 0;
+  waitpid(d.pid, &status, 0);
+  if (failed) return 1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "lamp-cli: daemon exited abnormally\n";
+    return 1;
+  }
+  const double ratio =
+      finalRequests == 0
+          ? 0.0
+          : static_cast<double>(finalHits) / static_cast<double>(finalRequests);
+  if (ratio + 1e-9 < a.expectWarmHitRatio) {
+    std::cerr << "lamp-cli: final-pass cache hit ratio " << ratio
+              << " below expected " << a.expectWarmHitRatio << "\n";
+    return 1;
+  }
+  std::cerr << "lamp-cli: replay ok (final-pass hit ratio " << ratio << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  std::string err;
+  if (!parseArgs(argc, argv, a, err)) {
+    std::cerr << "lamp-cli: " << err << "\n";
+    return 1;
+  }
+  return a.replayPath.empty() ? clientMode(a) : replayMode(a);
+}

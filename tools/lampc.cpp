@@ -19,6 +19,8 @@
 //   --emit-dot[=FILE]      print the CDFG in GraphViz format
 //   --emit-lp[=FILE]       dump the MILP in CPLEX LP format
 //   --emit-vcd[=FILE]      simulate 16 iterations and dump a VCD waveform
+//   --emit-json[=FILE]     print the flow result as JSON (same serializer
+//                          as the lampd service protocol)
 //   --emit-schedule        print the per-node schedule
 //   --export=FILE          write the (possibly folded) graph as .lamp text
 //   --fold                 run constant folding before scheduling
@@ -34,6 +36,7 @@
 #include <sstream>
 
 #include "flow/flow.h"
+#include "flow/flow_json.h"
 #include "ir/passes.h"
 #include "lp/model.h"
 #include "map/area.h"
@@ -55,7 +58,7 @@ struct Args {
   double timeLimit = 20.0;
   int threads = 0;  // auto
   std::string formulation = "compact";
-  std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd;
+  std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd, emitJson;
   std::optional<std::string> exportGraph;
   bool emitSchedule = false;
   bool fold = false;
@@ -96,6 +99,8 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.emitLp = valueOf(s);
     } else if (s == "--emit-vcd" || s.rfind("--emit-vcd=", 0) == 0) {
       a.emitVcd = valueOf(s);
+    } else if (s == "--emit-json" || s.rfind("--emit-json=", 0) == 0) {
+      a.emitJson = valueOf(s);
     } else if (s == "--emit-schedule") {
       a.emitSchedule = true;
     } else if (s == "--fold") {
@@ -140,22 +145,7 @@ std::optional<workloads::Benchmark> loadInput(const Args& a,
     err = "parse error in " + a.input + ": " + err;
     return std::nullopt;
   }
-  workloads::Benchmark bm;
-  bm.name = g->name();
-  bm.domain = "User";
-  bm.description = a.input;
-  bm.graph = std::move(*g);
-  const std::vector<ir::NodeId> ins = bm.graph.inputs();
-  bm.makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
-    sim::InputFrame f;
-    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + iter;
-    for (const ir::NodeId id : ins) {
-      state = state * 6364136223846793005ull + 1442695040888963407ull;
-      f[id] = state >> 13;
-    }
-    return f;
-  };
-  return bm;
+  return workloads::benchmarkFromGraph(std::move(*g), a.input);
 }
 
 void writeTo(const std::optional<std::string>& path,
@@ -188,16 +178,8 @@ int main(int argc, char** argv) {
     const std::size_t beforeNodes = bm->graph.size();
     bm->graph = ir::foldConstants(bm->graph, &st);
     // Input ids may shift; regenerate the frame maker over the new ids.
-    const std::vector<ir::NodeId> ins = bm->graph.inputs();
-    bm->makeInputs = [ins](std::uint64_t iter, std::uint32_t seed) {
-      sim::InputFrame f;
-      std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + iter;
-      for (const ir::NodeId id : ins) {
-        state = state * 6364136223846793005ull + 1442695040888963407ull;
-        f[id] = state >> 13;
-      }
-      return f;
-    };
+    bm->makeInputs =
+        workloads::benchmarkFromGraph(bm->graph, bm->description).makeInputs;
     if (!a.quiet) {
       std::cerr << "fold: " << beforeNodes << " -> " << bm->graph.size()
                 << " nodes (" << st.folded << " folded, " << st.forwarded
@@ -225,12 +207,9 @@ int main(int argc, char** argv) {
   opts.solverThreads = a.threads;
 
   flow::FlowResult result;
-  if (a.method == "hls") {
-    result = flow::runFlow(*bm, flow::Method::HlsTool, opts);
-  } else if (a.method == "base") {
-    result = flow::runFlow(*bm, flow::Method::MilpBase, opts);
-  } else if (a.method == "map") {
-    result = flow::runFlow(*bm, flow::Method::MilpMap, opts);
+  flow::Method flowMethod;
+  if (flow::parseMethodToken(a.method, flowMethod)) {
+    result = flow::runFlow(*bm, flowMethod, opts);
   } else if (a.method == "greedy") {
     const auto db = cut::enumerateCuts(bm->graph, opts.cuts);
     sched::SdcOptions go;
@@ -257,6 +236,17 @@ int main(int argc, char** argv) {
   if (!result.success) {
     std::cerr << "lampc: flow failed: " << result.error << "\n";
     return 1;
+  }
+
+  if (a.emitJson) {
+    util::Json doc = util::Json::object();
+    doc.set("benchmark", util::Json::string(bm->name));
+    doc.set("method", util::Json::string(a.method));
+    doc.set("result", flow::resultToJson(result));
+    writeTo(a.emitJson, [&](std::ostream& os) {
+      doc.write(os);
+      os << "\n";
+    });
   }
 
   if (!a.quiet) {

@@ -1,0 +1,109 @@
+// lampd — the persistent lamp scheduling daemon.
+//
+//   lampd --socket=PATH [options]   serve a Unix-domain socket
+//   lampd --stdio [options]         serve stdin/stdout (tests, replay)
+//
+//   --cache-dir=DIR      persist the solution cache here (warm restarts
+//                        reload every previously solved instance)
+//   --workers=N          solver worker threads (default: auto)
+//   --queue-cap=N        bounded admission queue depth (default 64);
+//                        excess requests are rejected with "overloaded"
+//   --max-time-limit=S   clamp per-request solver time limits (default 300)
+//   --no-cache           disable the solution cache entirely
+//   --quiet              suppress the startup banner
+//
+// Protocol: newline-delimited JSON (see src/svc/proto.h). Exit code 0 on
+// clean shutdown (EOF in stdio mode, SIGINT/SIGTERM in socket mode).
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/server.h"
+
+using namespace lamp;
+
+namespace {
+
+svc::UnixServer* g_server = nullptr;
+
+void onSignal(int) {
+  if (g_server != nullptr) g_server->requestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServiceOptions opts;
+  std::string socketPath;
+  bool stdio = false;
+  bool quiet = false;
+
+  const auto valueOf = [](const std::string& s) {
+    const auto eq = s.find('=');
+    return eq == std::string::npos ? std::string() : s.substr(eq + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--socket=", 0) == 0) {
+      socketPath = valueOf(s);
+    } else if (s == "--stdio") {
+      stdio = true;
+    } else if (s.rfind("--cache-dir=", 0) == 0) {
+      opts.cacheDir = valueOf(s);
+    } else if (s.rfind("--workers=", 0) == 0) {
+      opts.workers = std::atoi(valueOf(s).c_str());
+    } else if (s.rfind("--queue-cap=", 0) == 0) {
+      opts.queueCap = std::atoi(valueOf(s).c_str());
+    } else if (s.rfind("--max-time-limit=", 0) == 0) {
+      opts.maxTimeLimitSeconds = std::atof(valueOf(s).c_str());
+    } else if (s == "--no-cache") {
+      opts.cacheEnabled = false;
+    } else if (s == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "lampd: unknown option " << s << "\n";
+      return 1;
+    }
+  }
+  if (stdio == !socketPath.empty()) {
+    std::cerr << "lampd: pass exactly one of --stdio or --socket=PATH\n";
+    return 1;
+  }
+
+  svc::Service service(opts);
+  if (!quiet) {
+    std::cerr << "lampd: " << service.options().workers << " workers, queue cap "
+              << service.options().queueCap << ", cache "
+              << (opts.cacheEnabled
+                      ? (opts.cacheDir.empty() ? "memory" : opts.cacheDir)
+                      : "off");
+    if (opts.cacheEnabled && !opts.cacheDir.empty()) {
+      std::cerr << " (" << service.cache().size() << " entries loaded)";
+    }
+    std::cerr << "\n";
+  }
+
+  if (stdio) {
+    const std::size_t n = svc::serveStream(service, std::cin, std::cout);
+    if (!quiet) std::cerr << "lampd: served " << n << " requests, exiting\n";
+    return 0;
+  }
+
+  svc::UnixServer server(service, socketPath);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::cerr << "lampd: " << error << "\n";
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  if (!quiet) std::cerr << "lampd: listening on " << socketPath << "\n";
+  server.run();
+  server.stop();
+  service.drain();
+  if (!quiet) std::cerr << "lampd: shut down\n";
+  return 0;
+}
