@@ -1,0 +1,126 @@
+#include "analyze/diagnostics.h"
+
+#include <sstream>
+
+namespace lamp::analyze {
+
+std::string_view severityName(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+bool parseSeverity(std::string_view name, Severity& out) {
+  if (name == "info") { out = Severity::Info; return true; }
+  if (name == "warning") { out = Severity::Warning; return true; }
+  if (name == "error") { out = Severity::Error; return true; }
+  return false;
+}
+
+util::Json diagnosticToJson(const Diagnostic& d) {
+  util::Json j = util::Json::object();
+  j.set("code", util::Json::string(d.code));
+  j.set("severity", util::Json::string(std::string(severityName(d.severity))));
+  j.set("message", util::Json::string(d.message));
+  util::Json nodes = util::Json::array();
+  for (ir::NodeId id : d.nodes) {
+    nodes.push(util::Json::integer(static_cast<std::int64_t>(id)));
+  }
+  j.set("nodes", std::move(nodes));
+  if (!d.hint.empty()) j.set("hint", util::Json::string(d.hint));
+  return j;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool diagnosticFromJson(const util::Json& j, Diagnostic& out,
+                        std::string* error) {
+  if (!j.isObject()) return fail(error, "diagnostic must be an object");
+  const util::Json* code = j.find("code");
+  if (!code || !code->isString() || code->asString().empty()) {
+    return fail(error, "diagnostic.code must be a non-empty string");
+  }
+  const util::Json* sev = j.find("severity");
+  Severity severity = Severity::Error;
+  if (!sev || !sev->isString() || !parseSeverity(sev->asString(), severity)) {
+    return fail(error, "diagnostic.severity must be info|warning|error");
+  }
+  const util::Json* msg = j.find("message");
+  if (!msg || !msg->isString()) {
+    return fail(error, "diagnostic.message must be a string");
+  }
+  out = Diagnostic{};
+  out.code = code->asString();
+  out.severity = severity;
+  out.message = msg->asString();
+  if (const util::Json* nodes = j.find("nodes")) {
+    if (!nodes->isArray()) return fail(error, "diagnostic.nodes must be an array");
+    for (std::size_t i = 0; i < nodes->size(); ++i) {
+      const util::Json& id = nodes->at(i);
+      if (!id.isNumber() || id.asInt(-1) < 0) {
+        return fail(error, "diagnostic.nodes entries must be node ids");
+      }
+      out.nodes.push_back(static_cast<ir::NodeId>(id.asInt()));
+    }
+  }
+  if (const util::Json* hint = j.find("hint")) {
+    if (!hint->isString()) return fail(error, "diagnostic.hint must be a string");
+    out.hint = hint->asString();
+  }
+  return true;
+}
+
+util::Json diagnosticsToJson(const std::vector<Diagnostic>& ds) {
+  util::Json arr = util::Json::array();
+  for (const Diagnostic& d : ds) arr.push(diagnosticToJson(d));
+  return arr;
+}
+
+bool diagnosticsFromJson(const util::Json& j, std::vector<Diagnostic>& out,
+                         std::string* error) {
+  if (!j.isArray()) return fail(error, "diagnostics must be an array");
+  out.clear();
+  out.reserve(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    Diagnostic d;
+    if (!diagnosticFromJson(j.at(i), d, error)) return false;
+    out.push_back(std::move(d));
+  }
+  return true;
+}
+
+std::string renderDiagnostic(const ir::Graph& g, const Diagnostic& d) {
+  std::ostringstream os;
+  os << severityName(d.severity) << "[" << d.code << "]: " << d.message;
+  if (!d.nodes.empty()) {
+    os << "\n    nodes:";
+    constexpr std::size_t kMaxListed = 8;
+    for (std::size_t i = 0; i < d.nodes.size() && i < kMaxListed; ++i) {
+      const ir::NodeId id = d.nodes[i];
+      os << (i == 0 ? " " : ", ") << id;
+      if (id < g.size()) {
+        const ir::Node& n = g.node(id);
+        os << " (" << ir::opKindName(n.kind);
+        if (!n.name.empty()) os << " '" << n.name << "'";
+        os << ")";
+      }
+    }
+    if (d.nodes.size() > kMaxListed) {
+      os << ", +" << (d.nodes.size() - kMaxListed) << " more";
+    }
+  }
+  if (!d.hint.empty()) os << "\n    hint: " << d.hint;
+  return os.str();
+}
+
+}  // namespace lamp::analyze

@@ -1,0 +1,89 @@
+#ifndef LAMP_ANALYZE_DIAGNOSTICS_H
+#define LAMP_ANALYZE_DIAGNOSTICS_H
+
+/// \file diagnostics.h
+/// Structured diagnostics emitted by the pre-solve static analyses
+/// (see analyze.h). Every diagnostic carries a stable code so that
+/// clients — the service wire protocol, CLI --json output, tests —
+/// can match on it without parsing prose. Codes are append-only:
+///
+///   LAMP001  clock-infeasible node (indivisible delay > tcpNs)
+///   LAMP002  recurrence-bound minimum II (recMII) above requested II
+///   LAMP003  resource-bound minimum II (resMII) above requested II
+///   LAMP004  cone that can never be K-feasible (unabsorbable support > K)
+///   LAMP005  dead node (unreachable from any Output/Store)
+///   LAMP006  unused input
+///   LAMP007  structural violation (ir::verifyAll)
+///   LAMP008  constant-foldable island
+///   LAMP009  graph has no observable sinks
+///
+/// Severity policy: Error means the MILP flow is provably doomed (or the
+/// graph is malformed) and the solver must not run; Warning means the
+/// request is suspect but the flow can proceed (possibly at a higher II);
+/// Info is advisory (missed front-end optimization).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/graph.h"
+#include "util/json.h"
+
+namespace lamp::analyze {
+
+enum class Severity : std::uint8_t { Info = 0, Warning = 1, Error = 2 };
+
+/// "info" / "warning" / "error".
+std::string_view severityName(Severity s);
+
+/// Inverse of severityName(). Returns false on unknown names.
+bool parseSeverity(std::string_view name, Severity& out);
+
+// Stable diagnostic codes (see file comment for the table).
+inline constexpr std::string_view kCodeClockInfeasible = "LAMP001";
+inline constexpr std::string_view kCodeRecurrenceMii = "LAMP002";
+inline constexpr std::string_view kCodeResourceMii = "LAMP003";
+inline constexpr std::string_view kCodeUnmappableCone = "LAMP004";
+inline constexpr std::string_view kCodeDeadNode = "LAMP005";
+inline constexpr std::string_view kCodeUnusedInput = "LAMP006";
+inline constexpr std::string_view kCodeStructural = "LAMP007";
+inline constexpr std::string_view kCodeConstFoldable = "LAMP008";
+inline constexpr std::string_view kCodeNoSinks = "LAMP009";
+
+/// One structured finding. `nodes` lists the ids the finding is anchored
+/// on (the binding recurrence cycle for LAMP002, the offending nodes for
+/// everything else); it may be empty for graph-level findings (LAMP009).
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::Error;
+  std::string message;
+  std::vector<ir::NodeId> nodes;
+  std::string hint;  ///< actionable suggestion; may be empty
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// {"code":..., "severity":..., "message":..., "nodes":[...], "hint":...}
+/// `hint` is omitted when empty.
+util::Json diagnosticToJson(const Diagnostic& d);
+
+/// Inverse of diagnosticToJson(). Returns false and fills `error`
+/// (when non-null) on shape violations.
+bool diagnosticFromJson(const util::Json& j, Diagnostic& out,
+                        std::string* error = nullptr);
+
+/// Serializes a list of diagnostics as a JSON array (and back).
+util::Json diagnosticsToJson(const std::vector<Diagnostic>& ds);
+bool diagnosticsFromJson(const util::Json& j, std::vector<Diagnostic>& out,
+                         std::string* error = nullptr);
+
+/// Human-readable one-finding rendering, e.g.
+///   error[LAMP001]: 1 operation slower than ...
+///       nodes: 3 (mul 'm'), 7 (add)
+///       hint: raise tcpNs ...
+/// `g` is used to attach kind/name to node ids; pass the analyzed graph.
+std::string renderDiagnostic(const ir::Graph& g, const Diagnostic& d);
+
+}  // namespace lamp::analyze
+
+#endif  // LAMP_ANALYZE_DIAGNOSTICS_H

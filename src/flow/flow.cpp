@@ -107,8 +107,37 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
 
 }  // namespace
 
+analyze::AnalysisOptions analysisOptions(const Benchmark& bm, Method method,
+                                         const FlowOptions& opts) {
+  analyze::AnalysisOptions ao;
+  ao.ii = opts.ii;
+  ao.maxIi = opts.ii + 8;  // matches the retry window in runFlow below
+  ao.tcpNs = opts.tcpNs;
+  ao.k = opts.cuts.k;
+  ao.mappingAware = method == Method::MilpMap;
+  ao.delays = opts.delays;
+  ao.resources = bm.resources;
+  return ao;
+}
+
 FlowResult runFlow(const Benchmark& bm, Method method,
                    const FlowOptions& opts) {
+  // Pre-solve gate: a request the static analysis proves infeasible
+  // (malformed IR, an op slower than the clock, MII beyond the retry
+  // window, an unmappable cone) fails fast with structured diagnostics
+  // instead of burning the solver time limit. Warnings and infos ride
+  // along on whatever result the flow produces.
+  analyze::AnalysisReport report =
+      analyze::analyzeGraph(bm.graph, analysisOptions(bm, method, opts));
+  if (report.hasErrors()) {
+    FlowResult r;
+    r.method = method;
+    r.status = lp::SolveStatus::Infeasible;
+    r.error = "pre-solve analysis: " + analyze::summarizeErrors(report);
+    r.diagnostics = std::move(report.diagnostics);
+    return r;
+  }
+
   // Production schedulers bump the II when the recurrence, resources, or
   // (for the additive model) recurrence *chaining* cannot meet it. The
   // mapping-aware arm frequently sustains a smaller II than the additive
@@ -117,9 +146,10 @@ FlowResult runFlow(const Benchmark& bm, Method method,
   FlowResult last;
   for (int ii = opts.ii; ii <= opts.ii + 8; ++ii) {
     last = runFlowAtIi(bm, method, opts, ii);
-    if (last.success) return last;
-    if (last.status == lp::SolveStatus::NoSolution) return last;  // cap hit
+    if (last.success) break;
+    if (last.status == lp::SolveStatus::NoSolution) break;  // cap hit
   }
+  last.diagnostics = std::move(report.diagnostics);
   return last;
 }
 

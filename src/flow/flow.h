@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "analyze/analyze.h"
 #include "map/area.h"
 #include "sched/milp_sched.h"
 #include "sched/sdc.h"
@@ -89,7 +90,22 @@ struct FlowResult {
   double objective = 0.0;
 
   bool functionallyVerified = false;
+
+  /// Findings of the pre-solve static analysis (analyze::analyzeGraph),
+  /// always populated — Warnings/Infos on successful runs too. When the
+  /// analysis proves the request infeasible, `success` is false, `error`
+  /// summarizes the Error findings, and the solver never ran.
+  std::vector<analyze::Diagnostic> diagnostics;
 };
+
+/// The analysis configuration runFlow() gates on, exposed so other
+/// admission points (the lampd service) apply the *same* gate and never
+/// disagree with the flow about feasibility: requested II with the
+/// retry window (+8) as slack, the method's mapping-awareness, and the
+/// benchmark's resource limits.
+analyze::AnalysisOptions analysisOptions(const workloads::Benchmark& bm,
+                                         Method method,
+                                         const FlowOptions& opts);
 
 /// Runs one method on one benchmark. If the requested II is infeasible
 /// the flow retries with II+1 (up to 8x), like production schedulers do.

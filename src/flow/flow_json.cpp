@@ -106,6 +106,7 @@ Json resultToJson(const FlowResult& r) {
              Json::integer(static_cast<std::int64_t>(r.numConstraints)));
   solver.set("numCuts", Json::integer(static_cast<std::int64_t>(r.numCuts)));
   j.set("solver", std::move(solver));
+  j.set("diagnostics", analyze::diagnosticsToJson(r.diagnostics));
   return j;
 }
 
@@ -182,6 +183,13 @@ bool resultFromJson(const Json& j, FlowResult& out, std::string* error) {
     out.numConstraints = nc ? static_cast<std::size_t>(nc->asInt(0)) : 0;
     const Json* nk = solver->find("numCuts");
     out.numCuts = nk ? static_cast<std::size_t>(nk->asInt(0)) : 0;
+  }
+  // Absent in results cached before diagnostics existed — tolerated so
+  // old solution-cache files keep loading (they round-trip without it).
+  if (const Json* diags = j.find("diagnostics")) {
+    if (!analyze::diagnosticsFromJson(*diags, out.diagnostics, error)) {
+      return false;
+    }
   }
   return true;
 }

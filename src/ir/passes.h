@@ -21,8 +21,22 @@ namespace lamp::ir {
 ///  - no combinational cycles (cycles through dist=0 edges only),
 ///  - every Output has exactly one operand,
 ///  - no surviving placeholder uses.
-/// Returns std::nullopt on success, else a human-readable diagnostic.
+/// Returns std::nullopt on success, else the first violation found (in
+/// node-id order). Use verifyAll() to collect every violation.
 std::optional<std::string> verify(const Graph& g);
+
+/// One structural violation, tied to the node it was found on. The
+/// message embeds the node's id, kind, and name ("node 3 (xor 'p'): ...").
+struct VerifyIssue {
+  NodeId node = kNoNode;
+  std::string message;
+};
+
+/// Accumulating form of verify(): visits every node and returns ALL
+/// structural violations instead of stopping at the first. An empty
+/// vector means the graph is well-formed. verify() is implemented on top
+/// of this, so the two never disagree.
+std::vector<VerifyIssue> verifyAll(const Graph& g);
 
 /// Topological order of all nodes over intra-iteration (dist == 0) edges.
 /// Loop-carried (dist > 0) edges are ignored, so a verified graph always

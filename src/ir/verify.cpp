@@ -55,102 +55,115 @@ std::string describe(const Graph& g, NodeId id) {
 
 }  // namespace
 
-std::optional<std::string> verify(const Graph& g) {
+std::vector<VerifyIssue> verifyAll(const Graph& g) {
+  std::vector<VerifyIssue> issues;
+  const auto report = [&](NodeId id, std::string msg) {
+    issues.push_back(VerifyIssue{id, describe(g, id) + ": " + std::move(msg)});
+  };
+
+  bool anyOutOfRange = false;
   for (NodeId id = 0; id < g.size(); ++id) {
     const Node& n = g.node(id);
     const int want = expectedOperands(n.kind);
+    // Operand-shape violations make the width checks below unsafe to
+    // evaluate (they index operands), so they gate those for this node —
+    // but every node is still visited and reports its own violations.
+    bool shapeOk = true;
     if (want >= 0 && static_cast<int>(n.operands.size()) != want) {
-      return describe(g, id) + ": expected " + std::to_string(want) +
-             " operands, has " + std::to_string(n.operands.size());
+      report(id, "expected " + std::to_string(want) + " operands, has " +
+                     std::to_string(n.operands.size()));
+      shapeOk = false;
     }
     for (const Edge& e : n.operands) {
       if (e.src >= g.size()) {
-        return describe(g, id) + ": operand id out of range";
+        report(id, "operand id out of range");
+        shapeOk = false;
+        anyOutOfRange = true;
+        continue;
       }
       const Node& src = g.node(e.src);
       if (src.kind == OpKind::Store || src.kind == OpKind::Output) {
-        return describe(g, id) + ": consumes a value-less node";
+        report(id, "consumes a value-less node");
       }
       if (src.name.rfind("placeholder:", 0) == 0 &&
           src.name.find(":bound") == std::string::npos) {
-        return describe(g, id) + ": uses an unbound placeholder";
+        report(id, "uses an unbound placeholder");
       }
     }
     auto opw = [&](std::size_t k) { return g.node(n.operands[k].src).width; };
-    switch (n.kind) {
-      case OpKind::And:
-      case OpKind::Or:
-      case OpKind::Xor:
-      case OpKind::Add:
-      case OpKind::Sub:
-        if (opw(0) != opw(1) || n.width != opw(0)) {
-          return describe(g, id) + ": operand/result width mismatch";
-        }
-        break;
-      case OpKind::Eq:
-      case OpKind::Ne:
-      case OpKind::Lt:
-      case OpKind::Le:
-      case OpKind::Gt:
-      case OpKind::Ge:
-        if (opw(0) != opw(1) || n.width != 1) {
-          return describe(g, id) + ": compare width mismatch";
-        }
-        break;
-      case OpKind::Not:
-      case OpKind::Output:
-        if (n.width != opw(0)) {
-          return describe(g, id) + ": width must match operand";
-        }
-        break;
-      case OpKind::Shl:
-      case OpKind::Shr:
-      case OpKind::AShr:
-        if (n.width != opw(0)) {
-          return describe(g, id) + ": shift width must match operand";
-        }
-        if (n.attr0 < 0 || n.attr0 >= n.width) {
-          return describe(g, id) + ": shift amount out of range";
-        }
-        break;
-      case OpKind::Slice:
-        if (n.attr0 < 0 || n.attr0 + n.width > opw(0)) {
-          return describe(g, id) + ": slice out of bounds";
-        }
-        break;
-      case OpKind::Concat:
-        if (n.width != opw(0) + opw(1)) {
-          return describe(g, id) + ": concat width mismatch";
-        }
-        break;
-      case OpKind::ZExt:
-      case OpKind::SExt:
-        if (n.width < opw(0)) {
-          return describe(g, id) + ": extension narrows";
-        }
-        break;
-      case OpKind::Mux:
-        if (opw(0) != 1 || opw(1) != opw(2) || n.width != opw(1)) {
-          return describe(g, id) + ": mux width mismatch";
-        }
-        break;
-      case OpKind::Store:
-        if (n.width != 0) {
-          return describe(g, id) + ": store must have width 0";
-        }
-        break;
-      default:
-        break;
+    if (shapeOk) {
+      switch (n.kind) {
+        case OpKind::And:
+        case OpKind::Or:
+        case OpKind::Xor:
+        case OpKind::Add:
+        case OpKind::Sub:
+          if (opw(0) != opw(1) || n.width != opw(0)) {
+            report(id, "operand/result width mismatch");
+          }
+          break;
+        case OpKind::Eq:
+        case OpKind::Ne:
+        case OpKind::Lt:
+        case OpKind::Le:
+        case OpKind::Gt:
+        case OpKind::Ge:
+          if (opw(0) != opw(1) || n.width != 1) {
+            report(id, "compare width mismatch");
+          }
+          break;
+        case OpKind::Not:
+        case OpKind::Output:
+          if (n.width != opw(0)) {
+            report(id, "width must match operand");
+          }
+          break;
+        case OpKind::Shl:
+        case OpKind::Shr:
+        case OpKind::AShr:
+          if (n.width != opw(0)) {
+            report(id, "shift width must match operand");
+          }
+          if (n.attr0 < 0 || n.attr0 >= n.width) {
+            report(id, "shift amount out of range");
+          }
+          break;
+        case OpKind::Slice:
+          if (n.attr0 < 0 || n.attr0 + n.width > opw(0)) {
+            report(id, "slice out of bounds");
+          }
+          break;
+        case OpKind::ZExt:
+        case OpKind::SExt:
+          if (n.width < opw(0)) {
+            report(id, "extension narrows");
+          }
+          break;
+        case OpKind::Mux:
+          if (opw(0) != 1 || opw(1) != opw(2) || n.width != opw(1)) {
+            report(id, "mux width mismatch");
+          }
+          break;
+        case OpKind::Store:
+          if (n.width != 0) {
+            report(id, "store must have width 0");
+          }
+          break;
+        default:
+          break;
+      }
     }
     if (n.kind != OpKind::Store && n.width == 0) {
-      return describe(g, id) + ": zero width";
+      report(id, "zero width");
     }
     if (n.width > 64) {
-      return describe(g, id) + ": width > 64 unsupported";
+      report(id, "width > 64 unsupported");
     }
   }
 
-  // Combinational cycle check: DFS over dist==0 edges.
+  // Combinational cycle check: DFS over dist==0 edges. Skipped when any
+  // operand id is out of range (the traversal would index invalid nodes).
+  if (anyOutOfRange) return issues;
   enum class Mark : std::uint8_t { White, Grey, Black };
   std::vector<Mark> mark(g.size(), Mark::White);
   std::vector<std::pair<NodeId, std::size_t>> stack;
@@ -166,7 +179,9 @@ std::optional<std::string> verify(const Graph& g) {
         const Edge& e = n.operands[next++];
         if (e.dist != 0) continue;
         if (mark[e.src] == Mark::Grey) {
-          return "combinational cycle through " + describe(g, e.src);
+          issues.push_back(VerifyIssue{
+              e.src, "combinational cycle through " + describe(g, e.src)});
+          continue;
         }
         if (mark[e.src] == Mark::White) {
           mark[e.src] = Mark::Grey;
@@ -181,7 +196,13 @@ std::optional<std::string> verify(const Graph& g) {
       }
     }
   }
-  return std::nullopt;
+  return issues;
+}
+
+std::optional<std::string> verify(const Graph& g) {
+  const std::vector<VerifyIssue> issues = verifyAll(g);
+  if (issues.empty()) return std::nullopt;
+  return issues.front().message;
 }
 
 }  // namespace lamp::ir

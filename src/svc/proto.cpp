@@ -78,13 +78,17 @@ std::optional<Request> parseRequest(const std::string& line,
 
 std::string errorResponse(const std::string& id, std::string_view status,
                           const std::string& message,
-                          const flow::FlowResult* partial) {
+                          const flow::FlowResult* partial,
+                          const std::vector<analyze::Diagnostic>* diagnostics) {
   Json j = Json::object();
   j.set("id", Json::string(id));
   j.set("ok", Json::boolean(false));
   j.set("status", Json::string(std::string(status)));
   j.set("error", Json::string(message));
   if (partial != nullptr) j.set("result", flow::resultToJson(*partial));
+  if (diagnostics != nullptr && !diagnostics->empty()) {
+    j.set("diagnostics", analyze::diagnosticsToJson(*diagnostics));
+  }
   return j.dump();
 }
 

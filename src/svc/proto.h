@@ -25,11 +25,18 @@
 ///    "queueMs":..,"wallMs":..,"result":{...flow::resultToJson...}}
 /// Failure response:
 ///   {"id":"r1","ok":false,"status":"bad_request"|"overloaded"|
-///    "deadline_exceeded"|"flow_failed","error":"...",
-///    ["result":{...}]}      // flow_failed keeps the partial result
+///    "deadline_exceeded"|"flow_failed"|"infeasible","error":"...",
+///    ["result":{...}],      // flow_failed keeps the partial result
+///    ["diagnostics":[{"code":"LAMP001","severity":"error",
+///      "message":"...","nodes":[3,7],"hint":"..."}, ...]]}
 ///
 /// "overloaded" is the bounded-admission rejection: the daemon never
 /// buffers beyond its queue cap, it sheds load explicitly.
+///
+/// "infeasible" is the pre-solve static-analysis rejection: the request
+/// was proven unsolvable (see analyze::analyzeGraph) and was answered
+/// inline — it never occupied a solver worker or a queue slot. The
+/// "diagnostics" array explains why, with stable LAMPnnn codes.
 
 #include <optional>
 #include <string>
@@ -57,9 +64,12 @@ struct Request {
 std::optional<Request> parseRequest(const std::string& line,
                                     std::string* error, std::string* idOut);
 
-std::string errorResponse(const std::string& id, std::string_view status,
-                          const std::string& message,
-                          const flow::FlowResult* partial = nullptr);
+/// `diagnostics`, when non-null and non-empty, is attached as a
+/// top-level "diagnostics" array (used by the "infeasible" status).
+std::string errorResponse(
+    const std::string& id, std::string_view status, const std::string& message,
+    const flow::FlowResult* partial = nullptr,
+    const std::vector<analyze::Diagnostic>* diagnostics = nullptr);
 
 std::string resultResponse(const std::string& id, std::string_view cacheState,
                            double queueMs, double wallMs,

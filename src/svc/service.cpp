@@ -17,6 +17,38 @@ namespace lamp::svc {
 
 using util::Json;
 
+namespace {
+
+/// Resolves a request's graph — a built-in benchmark name or an inline
+/// .lamp text — into a Benchmark. Pure; returns false with `error` set
+/// when the name is unknown or the text does not parse.
+bool resolveBenchmark(const Request& req, workloads::Benchmark& bm,
+                      std::string* error) {
+  if (!req.benchmark.empty()) {
+    const auto scale =
+        req.paperScale ? workloads::Scale::Paper : workloads::Scale::Default;
+    for (auto& candidate : workloads::allBenchmarks(scale)) {
+      if (candidate.name == req.benchmark) {
+        bm = std::move(candidate);
+        return true;
+      }
+    }
+    if (error) *error = "unknown benchmark '" + req.benchmark + "'";
+    return false;
+  }
+  std::istringstream in(req.graphText);
+  std::string parseError;
+  auto g = ir::readText(in, &parseError);
+  if (!g) {
+    if (error) *error = "graph parse error: " + parseError;
+    return false;
+  }
+  bm = workloads::benchmarkFromGraph(std::move(*g), "service request");
+  return true;
+}
+
+}  // namespace
+
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cacheDir) {
   if (opts_.workers <= 0) opts_.workers = util::ThreadPool::defaultThreads();
@@ -46,6 +78,33 @@ void Service::submit(const std::string& line,
     return;
   }
 
+  // Resolve the graph and run the pre-solve static analysis inline: a
+  // request the analysis proves doomed (clock-infeasible op, recurrence
+  // MII beyond the retry window, malformed IR, ...) is answered in
+  // microseconds with structured diagnostics and never occupies a queue
+  // slot or a solver worker — its whole deadline budget stays unspent.
+  // The same gate runs again inside flow::runFlow (shared via
+  // flow::analysisOptions), so the two layers cannot disagree.
+  workloads::Benchmark bm;
+  if (req->cmd.empty()) {
+    std::string resolveError;
+    if (!resolveBenchmark(*req, bm, &resolveError)) {
+      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+      done(errorResponse(req->id, "bad_request", resolveError));
+      return;
+    }
+    analyze::AnalysisReport report = analyze::analyzeGraph(
+        bm.graph, flow::analysisOptions(bm, req->method, req->options));
+    if (report.hasErrors()) {
+      counters_.infeasible.fetch_add(1, std::memory_order_relaxed);
+      done(errorResponse(
+          req->id, "infeasible",
+          "pre-solve analysis: " + analyze::summarizeErrors(report), nullptr,
+          &report.diagnostics));
+      return;
+    }
+  }
+
   // Bounded admission: reject instead of buffering without limit. The
   // counter tracks admitted-but-not-started requests, so the cap bounds
   // queueing delay independently of how long individual solves run.
@@ -61,14 +120,15 @@ void Service::submit(const std::string& line,
   } while (!queued_.compare_exchange_weak(depth, depth + 1,
                                           std::memory_order_relaxed));
 
-  pool_->submit([this, req = std::move(*req), done = std::move(done),
+  pool_->submit([this, req = std::move(*req), bm = std::move(bm),
+                 done = std::move(done),
                  enqueued = std::chrono::steady_clock::now()]() mutable {
     queued_.fetch_sub(1, std::memory_order_relaxed);
     const double queueMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - enqueued)
             .count();
-    done(process(req, queueMs));
+    done(process(req, bm, queueMs));
   });
 }
 
@@ -88,7 +148,8 @@ std::string Service::call(const std::string& line) {
   return response;
 }
 
-std::string Service::process(const Request& req, double queueMs) {
+std::string Service::process(const Request& req,
+                             const workloads::Benchmark& bm, double queueMs) {
   if (req.cmd == "sleep") {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(req.sleepMs));
@@ -109,41 +170,13 @@ std::string Service::process(const Request& req, double queueMs) {
                              " ms expired after " + std::to_string(queueMs) +
                              " ms in queue");
   }
-  return runFlowRequest(req, queueMs);
+  return runFlowRequest(req, bm, queueMs);
 }
 
-std::string Service::runFlowRequest(const Request& req, double queueMs) {
+std::string Service::runFlowRequest(const Request& req,
+                                    const workloads::Benchmark& bm,
+                                    double queueMs) {
   util::Stopwatch wall;
-
-  // Resolve the graph: a built-in benchmark or an inline .lamp graph.
-  workloads::Benchmark bm;
-  if (!req.benchmark.empty()) {
-    const auto scale =
-        req.paperScale ? workloads::Scale::Paper : workloads::Scale::Default;
-    bool found = false;
-    for (auto& candidate : workloads::allBenchmarks(scale)) {
-      if (candidate.name == req.benchmark) {
-        bm = std::move(candidate);
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
-      return errorResponse(req.id, "bad_request",
-                           "unknown benchmark '" + req.benchmark + "'");
-    }
-  } else {
-    std::istringstream in(req.graphText);
-    std::string parseError;
-    auto g = ir::readText(in, &parseError);
-    if (!g) {
-      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
-      return errorResponse(req.id, "bad_request",
-                           "graph parse error: " + parseError);
-    }
-    bm = workloads::benchmarkFromGraph(std::move(*g), "service request");
-  }
 
   flow::FlowOptions opts = req.options;
   opts.solverTimeLimitSeconds =
@@ -206,6 +239,7 @@ ServiceStats Service::stats() const {
   s.deadlineExceeded =
       counters_.deadlineExceeded.load(std::memory_order_relaxed);
   s.flowFailures = counters_.flowFailures.load(std::memory_order_relaxed);
+  s.infeasible = counters_.infeasible.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -225,6 +259,8 @@ std::string Service::statsJson() const {
             Json::integer(static_cast<std::int64_t>(s.deadlineExceeded)));
   stats.set("flowFailures",
             Json::integer(static_cast<std::int64_t>(s.flowFailures)));
+  stats.set("infeasible",
+            Json::integer(static_cast<std::int64_t>(s.infeasible)));
   stats.set("workers", Json::integer(opts_.workers));
   stats.set("queueCap", Json::integer(opts_.queueCap));
   Json cache = Json::object();

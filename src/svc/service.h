@@ -9,7 +9,10 @@
 /// Unix socket in front, tests and benches call it directly.
 ///
 /// Request lifecycle:
-///   parse -> admission (queue depth < queueCap, else "overloaded")
+///   parse -> resolve graph + pre-solve static analysis (bad or provably
+///            infeasible requests are answered inline with structured
+///            diagnostics — they never occupy a queue slot or worker)
+///         -> admission (queue depth < queueCap, else "overloaded")
 ///         -> worker picks up (deadline re-checked; expired requests are
 ///            answered "deadline_exceeded" without solving)
 ///         -> cache lookup (exact hit -> cached result verbatim;
@@ -55,6 +58,8 @@ struct ServiceStats {
   std::uint64_t overloaded = 0;
   std::uint64_t deadlineExceeded = 0;
   std::uint64_t flowFailures = 0;
+  /// Requests rejected inline by the pre-solve static analysis.
+  std::uint64_t infeasible = 0;
 };
 
 class Service {
@@ -81,8 +86,10 @@ class Service {
   const ServiceOptions& options() const { return opts_; }
 
  private:
-  std::string process(const Request& req, double queueMs);
-  std::string runFlowRequest(const Request& req, double queueMs);
+  std::string process(const Request& req, const workloads::Benchmark& bm,
+                      double queueMs);
+  std::string runFlowRequest(const Request& req,
+                             const workloads::Benchmark& bm, double queueMs);
 
   ServiceOptions opts_;
   SolutionCache cache_;
@@ -94,6 +101,7 @@ class Service {
     std::atomic<std::uint64_t> overloaded{0};
     std::atomic<std::uint64_t> deadlineExceeded{0};
     std::atomic<std::uint64_t> flowFailures{0};
+    std::atomic<std::uint64_t> infeasible{0};
   } counters_;
   /// Declared last: the pool's destructor runs first and joins workers
   /// while the members above are still alive.

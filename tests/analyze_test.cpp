@@ -1,0 +1,410 @@
+// Tests for the pre-solve static analysis engine (src/analyze/): one
+// positive test per diagnostic code — a seeded defective graph must
+// trigger exactly that code on the expected node set — plus the negative
+// guarantee that all nine paper benchmarks analyze clean at their
+// Table 1 clock target (10 ns, II=1), the ir::verifyAll accumulation
+// contract, diagnostic JSON round-trips, and the flow-level gate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "flow/flow.h"
+#include "flow/flow_json.h"
+#include "ir/builder.h"
+#include "ir/passes.h"
+#include "workloads/workloads.h"
+
+namespace lamp::analyze {
+namespace {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+std::vector<const Diagnostic*> withCode(const AnalysisReport& r,
+                                        std::string_view code) {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+bool hasNode(const Diagnostic& d, ir::NodeId id) {
+  return std::find(d.nodes.begin(), d.nodes.end(), id) != d.nodes.end();
+}
+
+// ---------------------------------------------------------------------------
+// Negative guarantee: the paper's nine benchmarks are clean at Table 1
+// targets (10 ns clock, II=1) under the flow's own analysis options.
+
+TEST(AnalyzeTest, AllNineBenchmarksAnalyzeCleanAtTableOneTargets) {
+  for (auto& bm : workloads::allBenchmarks(workloads::Scale::Default)) {
+    for (const flow::Method m :
+         {flow::Method::HlsTool, flow::Method::MilpBase, flow::Method::MilpMap}) {
+      flow::FlowOptions opts;  // ii=1, tcpNs=10, k=4 — the Table 1 setup
+      const AnalysisReport report =
+          analyzeGraph(bm.graph, flow::analysisOptions(bm, m, opts));
+      EXPECT_FALSE(report.hasErrors()) << bm.name << ": "
+                                       << summarizeErrors(report);
+      EXPECT_TRUE(report.diagnostics.empty())
+          << bm.name << " has unexpected findings: "
+          << renderReport(bm.graph, report);
+      EXPECT_EQ(report.recMii, 1) << bm.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LAMP001 — clock-infeasible node
+
+TEST(AnalyzeTest, ClockInfeasibleNodeIsFlagged) {
+  GraphBuilder b("clock");
+  Value x = b.input("x", 8);
+  Value y = b.input("y", 8);
+  Value slow = b.bxor(x, y, "slow");        // LUT root: 1.2 ns
+  Value wide = b.add(slow, y, "wide");      // carry: 1.37 + 0.05*8 = 1.77 ns
+  Value dsp = b.mul(x, y, 8, "dsp");        // black box: exempt (12 ns)
+  b.output(b.bxor(wide, dsp), "out");
+
+  AnalysisOptions opts;
+  opts.tcpNs = 1.0;  // below even one LUT level
+  const AnalysisReport report = analyzeGraph(b.graph(), opts);
+  ASSERT_TRUE(report.hasErrors());
+  const auto found = withCode(report, kCodeClockInfeasible);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Error);
+  EXPECT_TRUE(hasNode(*found[0], slow.id));
+  EXPECT_TRUE(hasNode(*found[0], wide.id));
+  EXPECT_FALSE(hasNode(*found[0], dsp.id)) << "black boxes are pipelined IP";
+
+  // At the Table 1 clock everything fits in a cycle: no finding.
+  opts.tcpNs = 10.0;
+  EXPECT_TRUE(withCode(analyzeGraph(b.graph(), opts), kCodeClockInfeasible)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// LAMP002 — recurrence-bound minimum II, with the binding cycle
+
+TEST(AnalyzeTest, RecurrenceMiiReportsBindingCycle) {
+  GraphBuilder b("rec");
+  Value a = b.input("a", 8);
+  Value st = b.placeholder(8, "st");
+  Value m1 = b.mul(st.prev(1), a, 8, "m1");
+  Value m2 = b.mul(m1, a, 8, "m2");
+  b.bindPlaceholder(st, m2);
+  b.output(m2, "out");
+
+  AnalysisOptions opts;
+  opts.delays.dspMulNs = 20.0;  // 2 whole cycles at 10 ns, no remainder
+  const Recurrence rec = recurrenceMii(b.graph(), opts.delays, opts.tcpNs);
+  EXPECT_EQ(rec.recMii, 4);  // two lat-2 muls on a dist-1 cycle
+  EXPECT_FALSE(rec.cycle.empty());
+
+  // Strict II budget (maxIi == ii): provably unreachable -> Error.
+  opts.ii = 1;
+  opts.maxIi = 1;
+  AnalysisReport report = analyzeGraph(b.graph(), opts);
+  EXPECT_EQ(report.recMii, 4);
+  auto found = withCode(report, kCodeRecurrenceMii);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Error);
+  EXPECT_TRUE(hasNode(*found[0], m1.id));
+  EXPECT_TRUE(hasNode(*found[0], m2.id));
+
+  // Inside the flow's retry window: same bound, only a Warning.
+  opts.maxIi = 9;
+  report = analyzeGraph(b.graph(), opts);
+  found = withCode(report, kCodeRecurrenceMii);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Warning);
+  EXPECT_FALSE(report.hasErrors());
+
+  // Requested II at the bound: clean.
+  opts.ii = opts.maxIi = 4;
+  EXPECT_TRUE(withCode(analyzeGraph(b.graph(), opts), kCodeRecurrenceMii)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// LAMP003 — resource-bound minimum II
+
+TEST(AnalyzeTest, ResourceMiiCountsPortPressure) {
+  GraphBuilder b("res");
+  Value addr = b.input("addr", 10);
+  Value l1 = b.load(ir::ResourceClass::MemPortA, addr, 8, "l1");
+  Value l2 = b.load(ir::ResourceClass::MemPortA, addr, 8, "l2");
+  Value l3 = b.load(ir::ResourceClass::MemPortA, addr, 8, "l3");
+  b.output(b.bxor(b.bxor(l1, l2), l3), "out");
+
+  AnalysisOptions opts;
+  opts.resources[ir::ResourceClass::MemPortA] = 1;
+  opts.ii = 1;
+  opts.maxIi = 1;
+  const AnalysisReport report = analyzeGraph(b.graph(), opts);
+  EXPECT_EQ(report.resMii, 3);
+  EXPECT_EQ(resourceMii(b.graph(), opts.resources), 3);
+  const auto found = withCode(report, kCodeResourceMii);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Error);
+  EXPECT_EQ(found[0]->nodes.size(), 3u);
+  EXPECT_TRUE(hasNode(*found[0], l1.id));
+  EXPECT_TRUE(hasNode(*found[0], l2.id));
+  EXPECT_TRUE(hasNode(*found[0], l3.id));
+
+  // Two ports -> ceil(3/2) = 2, reachable within the retry window.
+  opts.resources[ir::ResourceClass::MemPortA] = 2;
+  opts.maxIi = 9;
+  const AnalysisReport relaxed = analyzeGraph(b.graph(), opts);
+  EXPECT_EQ(relaxed.resMii, 2);
+  ASSERT_EQ(withCode(relaxed, kCodeResourceMii).size(), 1u);
+  EXPECT_EQ(withCode(relaxed, kCodeResourceMii)[0]->severity,
+            Severity::Warning);
+}
+
+// ---------------------------------------------------------------------------
+// LAMP004 — cone that can never be K-feasible
+
+TEST(AnalyzeTest, UnmappableConeIsFlagged) {
+  GraphBuilder b("cone");
+  Value sel = b.input("sel", 1);
+  Value p = b.input("p", 8);
+  Value q = b.input("q", 8);
+  // Every cut of the mux keeps sel, p[j], q[j] on its boundary (all
+  // three are Inputs) — 3 bits, so K=2 is provably infeasible.
+  Value m = b.mux(sel, p, q, "m");
+  b.output(m, "out");
+
+  AnalysisOptions opts;
+  opts.k = 2;
+  opts.mappingAware = true;
+  const AnalysisReport report = analyzeGraph(b.graph(), opts);
+  const auto found = withCode(report, kCodeUnmappableCone);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Error);
+  EXPECT_TRUE(hasNode(*found[0], m.id));
+
+  // Mapping-agnostic arms use trivial cuts with a carry fallback — the
+  // same finding only warns there.
+  opts.mappingAware = false;
+  const AnalysisReport base = analyzeGraph(b.graph(), opts);
+  ASSERT_EQ(withCode(base, kCodeUnmappableCone).size(), 1u);
+  EXPECT_EQ(withCode(base, kCodeUnmappableCone)[0]->severity,
+            Severity::Warning);
+
+  // At K=4 (the default LUT size) the mux fits: clean.
+  opts.k = 4;
+  opts.mappingAware = true;
+  EXPECT_TRUE(withCode(analyzeGraph(b.graph(), opts), kCodeUnmappableCone)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// LAMP005 / LAMP006 — dead nodes and unused inputs
+
+TEST(AnalyzeTest, DeadNodesAndUnusedInputsWarn) {
+  GraphBuilder b("dead");
+  Value a = b.input("a", 8);
+  Value unused = b.input("unused", 8);
+  Value dead = b.bxor(a, a, "dead");  // never reaches a sink
+  b.output(b.bnot(a), "out");
+  (void)dead;
+
+  const AnalysisReport report = analyzeGraph(b.graph(), AnalysisOptions{});
+  EXPECT_FALSE(report.hasErrors());
+  const auto deadFound = withCode(report, kCodeDeadNode);
+  ASSERT_EQ(deadFound.size(), 1u);
+  EXPECT_EQ(deadFound[0]->severity, Severity::Warning);
+  EXPECT_TRUE(hasNode(*deadFound[0], dead.id));
+  const auto unusedFound = withCode(report, kCodeUnusedInput);
+  ASSERT_EQ(unusedFound.size(), 1u);
+  EXPECT_EQ(unusedFound[0]->nodes, std::vector<ir::NodeId>{unused.id});
+}
+
+// ---------------------------------------------------------------------------
+// LAMP007 — structural violations, all of them, with node identity
+
+TEST(AnalyzeTest, StructuralViolationsAllReportedAndGateLaterPasses) {
+  ir::Graph g("broken");
+  ir::Node in;
+  in.kind = ir::OpKind::Input;
+  in.width = 8;
+  const ir::NodeId inId = g.add(in);
+  ir::Node bad;
+  bad.kind = ir::OpKind::Xor;
+  bad.width = 4;  // mismatches its 8-bit operands
+  bad.operands = {{inId, 0}, {inId, 0}};
+  const ir::NodeId badId = g.add(bad);
+  ir::Node worse;
+  worse.kind = ir::OpKind::And;
+  worse.width = 0;  // zero width AND operand mismatch
+  worse.operands = {{inId, 0}, {inId, 0}};
+  const ir::NodeId worseId = g.add(worse);
+  ir::Node out;
+  out.kind = ir::OpKind::Output;
+  out.width = 4;
+  out.operands = {{badId, 0}};
+  g.add(out);
+
+  const std::vector<ir::VerifyIssue> issues = ir::verifyAll(g);
+  ASSERT_EQ(issues.size(), 3u);  // xor mismatch, and mismatch, and zero-width
+  EXPECT_EQ(issues[0].node, badId);
+  EXPECT_EQ(issues[1].node, worseId);
+  EXPECT_EQ(issues[2].node, worseId);
+  // verify() is the accumulating checker's first finding, verbatim.
+  ASSERT_TRUE(ir::verify(g).has_value());
+  EXPECT_EQ(*ir::verify(g), issues[0].message);
+  // Node identity is embedded in every message.
+  EXPECT_NE(issues[0].message.find("node 1 (xor)"), std::string::npos)
+      << issues[0].message;
+
+  const AnalysisReport report = analyzeGraph(g, AnalysisOptions{});
+  EXPECT_FALSE(report.structurallyValid);
+  EXPECT_TRUE(report.hasErrors());
+  const auto found = withCode(report, kCodeStructural);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_TRUE(hasNode(*found[0], badId));
+  // Later passes must not run on a malformed graph: the dead 'and' node
+  // would otherwise produce LAMP005.
+  EXPECT_TRUE(withCode(report, kCodeDeadNode).empty());
+}
+
+// ---------------------------------------------------------------------------
+// LAMP008 — constant-foldable islands (transitively)
+
+TEST(AnalyzeTest, ConstantFoldableIslandIsInfo) {
+  GraphBuilder b("fold");
+  Value x = b.input("x", 8);
+  Value c = b.add(b.constant(3, 8), b.constant(4, 8), "c");
+  Value c2 = b.bnot(c, "c2");  // constant transitively
+  b.output(b.bxor(x, c2), "out");
+
+  const AnalysisReport report = analyzeGraph(b.graph(), AnalysisOptions{});
+  EXPECT_FALSE(report.hasErrors());
+  const auto found = withCode(report, kCodeConstFoldable);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::Info);
+  EXPECT_TRUE(hasNode(*found[0], c.id));
+  EXPECT_TRUE(hasNode(*found[0], c2.id));
+
+  // ir::foldConstants is exactly the fix the hint names: afterwards the
+  // island is gone.
+  const ir::Graph folded = ir::foldConstants(b.graph());
+  EXPECT_TRUE(withCode(analyzeGraph(folded, AnalysisOptions{}),
+                       kCodeConstFoldable)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// LAMP009 — no observable sinks
+
+TEST(AnalyzeTest, MissingSinksWarn) {
+  GraphBuilder b("sinkless");
+  Value x = b.input("x", 8);
+  (void)b.bnot(x, "n");
+
+  const AnalysisReport report = analyzeGraph(b.graph(), AnalysisOptions{});
+  EXPECT_FALSE(report.hasErrors());
+  ASSERT_EQ(withCode(report, kCodeNoSinks).size(), 1u);
+  EXPECT_EQ(withCode(report, kCodeNoSinks)[0]->severity, Severity::Warning);
+}
+
+// ---------------------------------------------------------------------------
+// Registry and serialization plumbing
+
+TEST(AnalyzeTest, PassRegistryCoversEveryDiagnosticCode) {
+  std::string allCodes;
+  for (const Pass& p : passRegistry()) {
+    EXPECT_FALSE(std::string(p.name).empty());
+    EXPECT_NE(p.run, nullptr);
+    allCodes += p.codes;
+    allCodes += ",";
+  }
+  for (const std::string_view code :
+       {kCodeClockInfeasible, kCodeRecurrenceMii, kCodeResourceMii,
+        kCodeUnmappableCone, kCodeDeadNode, kCodeUnusedInput, kCodeStructural,
+        kCodeConstFoldable, kCodeNoSinks}) {
+    EXPECT_NE(allCodes.find(code), std::string::npos)
+        << code << " claimed by no pass";
+  }
+}
+
+TEST(AnalyzeTest, DiagnosticJsonRoundTrips) {
+  Diagnostic d;
+  d.code = "LAMP002";
+  d.severity = Severity::Warning;
+  d.message = "a loop-carried recurrence requires II >= 4";
+  d.nodes = {3, 7, 12};
+  d.hint = "raise ii";
+
+  const util::Json j = diagnosticToJson(d);
+  const auto reparsed = util::Json::parse(j.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  Diagnostic back;
+  std::string error;
+  ASSERT_TRUE(diagnosticFromJson(*reparsed, back, &error)) << error;
+  EXPECT_EQ(back, d);
+
+  // Hint omitted when empty, tolerated when absent.
+  d.hint.clear();
+  const util::Json noHint = diagnosticToJson(d);
+  EXPECT_EQ(noHint.find("hint"), nullptr);
+  ASSERT_TRUE(diagnosticFromJson(noHint, back, &error)) << error;
+  EXPECT_EQ(back, d);
+
+  // Shape violations are rejected, not silently defaulted.
+  util::Json missingCode = util::Json::object();
+  missingCode.set("severity", util::Json::string("error"));
+  missingCode.set("message", util::Json::string("m"));
+  EXPECT_FALSE(diagnosticFromJson(missingCode, back, &error));
+  util::Json badSeverity = diagnosticToJson(d);
+  badSeverity.set("severity", util::Json::string("fatal"));
+  EXPECT_FALSE(diagnosticFromJson(badSeverity, back, &error));
+
+  // List round trip.
+  std::vector<Diagnostic> list = {d, d};
+  list[1].code = "LAMP005";
+  std::vector<Diagnostic> listBack;
+  ASSERT_TRUE(diagnosticsFromJson(diagnosticsToJson(list), listBack, &error))
+      << error;
+  EXPECT_EQ(listBack, list);
+}
+
+// ---------------------------------------------------------------------------
+// The flow-level gate: runFlow fails fast with diagnostics attached,
+// and they survive the flow_json round trip.
+
+TEST(AnalyzeTest, FlowGateFailsFastWithDiagnosticsAttached) {
+  GraphBuilder b("gate");
+  Value x = b.input("x", 8);
+  Value y = b.input("y", 8);
+  b.output(b.bxor(x, y, "slow"), "out");
+  const workloads::Benchmark bm =
+      workloads::benchmarkFromGraph(b.take(), "gate test");
+
+  flow::FlowOptions opts;
+  opts.tcpNs = 1.0;  // LAMP001 for the xor (1.2 ns LUT level)
+  const flow::FlowResult r = flow::runFlow(bm, flow::Method::MilpMap, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.status, lp::SolveStatus::Infeasible);
+  EXPECT_NE(r.error.find("pre-solve analysis"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("LAMP001"), std::string::npos) << r.error;
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].code, kCodeClockInfeasible);
+  EXPECT_EQ(r.numVars, 0u) << "the solver must never have been built";
+
+  // Diagnostics are part of the FlowResult wire format.
+  flow::FlowResult back;
+  std::string error;
+  ASSERT_TRUE(flow::resultFromJson(flow::resultToJson(r), back, &error))
+      << error;
+  EXPECT_EQ(back.diagnostics, r.diagnostics);
+  EXPECT_EQ(flow::resultToJson(back).dump(), flow::resultToJson(r).dump());
+}
+
+}  // namespace
+}  // namespace lamp::analyze

@@ -1,0 +1,66 @@
+// Sanitized smoke coverage (built with -fsanitize=address,undefined by
+// tests/CMakeLists.txt): one small benchmark end-to-end through
+// flow::runFlow, and one request through the lampd stdio transport
+// (serveStream over string streams — exactly what `lampd --stdio`
+// wraps). The point is not functional depth — the plain test suite has
+// that — but walking the allocation- and cast-heavy paths (cut
+// enumeration, MILP build/solve, JSON protocol) under ASan+UBSan.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/flow.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/json.h"
+
+namespace lamp {
+namespace {
+
+workloads::Benchmark benchmark(const std::string& name) {
+  for (auto& bm : workloads::allBenchmarks(workloads::Scale::Default)) {
+    if (bm.name == name) return std::move(bm);
+  }
+  ADD_FAILURE() << "benchmark " << name << " not found";
+  return {};
+}
+
+TEST(SanitizeSmokeTest, FlowRunsOneBenchmarkClean) {
+  const workloads::Benchmark bm = benchmark("GFMUL");
+  flow::FlowOptions opts;
+  opts.solverTimeLimitSeconds = 10.0;
+  const flow::FlowResult r = flow::runFlow(bm, flow::Method::MilpMap, opts);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(r.functionallyVerified);
+}
+
+TEST(SanitizeSmokeTest, StdioTransportServesOneRequest) {
+  svc::ServiceOptions so;
+  so.workers = 1;
+  so.cacheEnabled = false;
+  svc::Service service(so);
+
+  std::istringstream in(
+      "{\"id\":\"r1\",\"benchmark\":\"GFMUL\","
+      "\"options\":{\"timeLimitSeconds\":10}}\n"
+      "{\"id\":\"r2\",\"cmd\":\"stats\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(svc::serveStream(service, in, out), 2u);
+
+  std::istringstream responses(out.str());
+  std::string line;
+  std::size_t okLines = 0;
+  while (std::getline(responses, line)) {
+    const auto doc = util::Json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const util::Json* ok = doc->find("ok");
+    ASSERT_NE(ok, nullptr) << line;
+    EXPECT_TRUE(ok->asBool()) << line;
+    ++okLines;
+  }
+  EXPECT_EQ(okLines, 2u);
+}
+
+}  // namespace
+}  // namespace lamp

@@ -18,8 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "flow/flow_json.h"
+#include "ir/builder.h"
 #include "svc/cache.h"
+#include "svc/proto.h"
 #include "svc/service.h"
 #include "util/json.h"
 
@@ -425,6 +428,129 @@ TEST(ServiceTest, WarmStartReachesColdObjective) {
       EXPECT_NEAR(warmObj, coldObj, 1e-6) << name;
     }
   }
+}
+
+// The "infeasible" status carries the analyzer's structured diagnostics
+// and they survive the wire format losslessly.
+TEST(ProtoTest, InfeasibleResponseCarriesDiagnosticsLosslessly) {
+  std::vector<analyze::Diagnostic> diags(2);
+  diags[0].code = std::string(analyze::kCodeClockInfeasible);
+  diags[0].severity = analyze::Severity::Error;
+  diags[0].message = "1 operation slower than tcpNs=1";
+  diags[0].nodes = {2, 5};
+  diags[0].hint = "raise tcpNs above 1.77 ns";
+  diags[1].code = std::string(analyze::kCodeRecurrenceMii);
+  diags[1].severity = analyze::Severity::Warning;
+  diags[1].message = "recMII=5 exceeds the requested II";
+  diags[1].nodes = {7, 8, 9};
+
+  const std::string line = errorResponse(
+      "req-1", "infeasible", "pre-solve analysis: ...", nullptr, &diags);
+  const auto doc = Json::parse(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  EXPECT_FALSE(field(*doc, "ok")->asBool());
+  EXPECT_EQ(field(*doc, "id")->asString(), "req-1");
+  EXPECT_EQ(field(*doc, "status")->asString(), "infeasible");
+
+  std::vector<analyze::Diagnostic> back;
+  std::string err;
+  ASSERT_TRUE(analyze::diagnosticsFromJson(*field(*doc, "diagnostics"), back,
+                                           &err))
+      << err;
+  EXPECT_EQ(back, diags);
+
+  // An empty diagnostic list is omitted, not serialized as [].
+  const std::vector<analyze::Diagnostic> none;
+  const auto bare =
+      Json::parse(errorResponse("x", "bad_request", "m", nullptr, &none));
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->find("diagnostics"), nullptr);
+}
+
+// An analysis-infeasible request must be answered inline by submit() —
+// never occupying a queue slot or a solver worker. With the only worker
+// pinned by a sleeper, the response still arrives immediately.
+TEST(ServiceTest, InfeasibleRequestAnsweredWithoutWorker) {
+  ServiceOptions so;
+  so.workers = 1;
+  Service service(so);
+
+  std::mutex mu;
+  std::vector<std::string> sink;
+  service.submit(R"({"id":"s","cmd":"sleep","ms":800})", [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    sink.push_back(std::move(r));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // tcpNs=1 is below a single LUT level: provably infeasible (LAMP001).
+  const std::string resp = service.call(
+      R"({"id":"i","benchmark":"GFMUL","options":{"tcpNs":1.0}})");
+  {
+    // The sleeper (800ms) has not finished, so the worker never served
+    // this request — it was answered from the admission path.
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(sink.empty()) << "response waited behind the busy worker";
+  }
+  const auto doc = Json::parse(resp);
+  ASSERT_TRUE(doc.has_value()) << resp;
+  EXPECT_FALSE(field(*doc, "ok")->asBool());
+  EXPECT_EQ(field(*doc, "status")->asString(), "infeasible");
+  std::vector<analyze::Diagnostic> diags;
+  std::string err;
+  ASSERT_TRUE(analyze::diagnosticsFromJson(*field(*doc, "diagnostics"), diags,
+                                           &err))
+      << err;
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].code, analyze::kCodeClockInfeasible);
+  EXPECT_EQ(diags[0].severity, analyze::Severity::Error);
+  EXPECT_FALSE(diags[0].nodes.empty());
+
+  EXPECT_EQ(service.stats().infeasible, 1u);
+  EXPECT_EQ(service.stats().flowFailures, 0u);
+  EXPECT_EQ(service.cache().size(), 0u);
+  service.drain();
+}
+
+// Acceptance bar for the recurrence pass: on a loop-carried multiply the
+// analyzer's recMII equals the II the MILP proves optimal. dspMulNs=20
+// at a 10ns clock gives the multiplier exactly 2 cycles with no
+// combinational remainder, so the dist-1 cycle forces II >= 2 and the
+// solver can achieve it exactly.
+TEST(ServiceTest, AnalyzerRecMiiMatchesMilpProvenOptimalIi) {
+  ir::GraphBuilder b("recurrence");
+  ir::Value a = b.input("a", 8);
+  ir::Value st = b.placeholder(8, "st");
+  ir::Value m = b.mul(st.prev(1), a, 8, "m");
+  b.bindPlaceholder(st, m);
+  b.output(m, "out");
+  const workloads::Benchmark bm =
+      workloads::benchmarkFromGraph(b.take(), "recMII acceptance");
+
+  flow::FlowOptions opts;
+  opts.delays.dspMulNs = 20.0;
+  opts.solverTimeLimitSeconds = 10.0;
+
+  const analyze::AnalysisReport report = analyze::analyzeGraph(
+      bm.graph, flow::analysisOptions(bm, flow::Method::MilpMap, opts));
+  EXPECT_EQ(report.recMii, 2);
+  // Within runFlow's retry window: a Warning, not an Error — the flow
+  // may proceed and settle at II=2.
+  EXPECT_FALSE(report.hasErrors()) << analyze::summarizeErrors(report);
+
+  const flow::FlowResult r = flow::runFlow(bm, flow::Method::MilpMap, opts);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.status, lp::SolveStatus::Optimal);
+  EXPECT_EQ(r.schedule.ii, report.recMii);
+  // The successful result still carries the LAMP002 warning.
+  bool sawRecWarning = false;
+  for (const analyze::Diagnostic& d : r.diagnostics) {
+    if (d.code == analyze::kCodeRecurrenceMii) {
+      sawRecWarning = true;
+      EXPECT_EQ(d.severity, analyze::Severity::Warning);
+    }
+  }
+  EXPECT_TRUE(sawRecWarning);
 }
 
 }  // namespace

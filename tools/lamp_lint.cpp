@@ -1,0 +1,142 @@
+// lamp-lint — standalone pre-solve static analysis of CDFGs.
+//
+//   lamp-lint [options] <input>
+//
+//   <input>          a .lamp graph file (ir::writeText format) or a
+//                    built-in benchmark name (CLZ, XORR, GFMUL, CORDIC,
+//                    MT, AES, RS, DR, GSM)
+//   --ii=N           requested initiation interval (default 1)
+//   --max-ii=N       largest II the caller would accept; MII bounds in
+//                    (ii, max-ii] are Warnings, beyond it Errors.
+//                    Default ii+8, matching flow::runFlow's retry window.
+//                    Pass --max-ii equal to --ii for a strict lint.
+//   --tcp=NS         target clock period in ns (default 10)
+//   --k=K            LUT input count for the cone check (default 4)
+//   --base           lint for the mapping-agnostic arms (unmappable
+//                    cones downgrade from Error to Warning)
+//   --paper-scale    use paper-sized benchmark instances
+//   --json           machine-readable report on stdout
+//
+// Runs every pass in analyze::passRegistry() and prints the findings.
+// Exit code: 0 when no Error-severity diagnostics, 1 otherwise,
+// 2 on usage errors. The same engine gates flow::runFlow and lampd
+// admission, so a clean lint means the solver will actually be tried.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "ir/passes.h"
+#include "workloads/workloads.h"
+
+using namespace lamp;
+
+namespace {
+
+struct Args {
+  std::string input;
+  int ii = 1;
+  int maxIi = -1;  // -1: default to ii + 8
+  double tcp = 10.0;
+  int k = 4;
+  bool mappingAware = true;
+  bool paperScale = false;
+  bool json = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
+  const auto valueOf = [](const std::string& s) {
+    const auto eq = s.find('=');
+    return eq == std::string::npos ? std::string() : s.substr(eq + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--ii=", 0) == 0) {
+      a.ii = std::stoi(valueOf(s));
+    } else if (s.rfind("--max-ii=", 0) == 0) {
+      a.maxIi = std::stoi(valueOf(s));
+    } else if (s.rfind("--tcp=", 0) == 0) {
+      a.tcp = std::stod(valueOf(s));
+    } else if (s.rfind("--k=", 0) == 0) {
+      a.k = std::stoi(valueOf(s));
+    } else if (s == "--base") {
+      a.mappingAware = false;
+    } else if (s == "--paper-scale") {
+      a.paperScale = true;
+    } else if (s == "--json") {
+      a.json = true;
+    } else if (s.rfind("--", 0) == 0) {
+      err = "unknown option " + s;
+      return false;
+    } else if (a.input.empty()) {
+      a.input = s;
+    } else {
+      err = "multiple inputs given";
+      return false;
+    }
+  }
+  if (a.input.empty()) {
+    err = "no input; pass a benchmark name or a .lamp graph file";
+    return false;
+  }
+  if (a.ii < 1) {
+    err = "--ii must be >= 1";
+    return false;
+  }
+  return true;
+}
+
+std::optional<workloads::Benchmark> loadInput(const Args& a,
+                                              std::string& err) {
+  const auto scale =
+      a.paperScale ? workloads::Scale::Paper : workloads::Scale::Default;
+  for (auto& bm : workloads::allBenchmarks(scale)) {
+    if (bm.name == a.input) return std::move(bm);
+  }
+  std::ifstream in(a.input);
+  if (!in) {
+    err = "'" + a.input + "' is neither a benchmark name nor a readable file";
+    return std::nullopt;
+  }
+  auto g = ir::readText(in, &err);
+  if (!g) {
+    err = "parse error in " + a.input + ": " + err;
+    return std::nullopt;
+  }
+  return workloads::benchmarkFromGraph(std::move(*g), a.input);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  std::string err;
+  if (!parseArgs(argc, argv, a, err)) {
+    std::cerr << "lamp-lint: " << err << "\n";
+    return 2;
+  }
+  const auto bm = loadInput(a, err);
+  if (!bm) {
+    std::cerr << "lamp-lint: " << err << "\n";
+    return 2;
+  }
+
+  analyze::AnalysisOptions ao;
+  ao.ii = a.ii;
+  ao.maxIi = a.maxIi < 0 ? a.ii + 8 : a.maxIi;
+  ao.tcpNs = a.tcp;
+  ao.k = a.k;
+  ao.mappingAware = a.mappingAware;
+  ao.resources = bm->resources;
+
+  const analyze::AnalysisReport report = analyze::analyzeGraph(bm->graph, ao);
+  if (a.json) {
+    analyze::reportToJson(bm->graph, report).write(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << analyze::renderReport(bm->graph, report);
+  }
+  return report.hasErrors() ? 1 : 0;
+}

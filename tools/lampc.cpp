@@ -26,6 +26,10 @@
 //   --fold                 run constant folding before scheduling
 //   --paper-scale          use paper-sized benchmark instances
 //   --quiet                suppress the summary report
+//   --analyze              run the pre-solve static analysis only (no
+//                          solve); exits 1 when it finds Error-severity
+//                          diagnostics — see src/analyze/ and lamp-lint
+//   --json                 with --analyze, print the report as JSON
 //
 // Exit code 0 on success, 1 on any failure.
 
@@ -64,6 +68,8 @@ struct Args {
   bool fold = false;
   bool paperScale = false;
   bool quiet = false;
+  bool analyze = false;
+  bool json = false;
 };
 
 bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
@@ -111,6 +117,10 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.paperScale = true;
     } else if (s == "--quiet") {
       a.quiet = true;
+    } else if (s == "--analyze") {
+      a.analyze = true;
+    } else if (s == "--json") {
+      a.json = true;
     } else if (s.rfind("--", 0) == 0) {
       err = "unknown option " + s;
       return false;
@@ -205,6 +215,23 @@ int main(int argc, char** argv) {
   opts.cuts.k = a.k;
   opts.solverTimeLimitSeconds = a.timeLimit;
   opts.solverThreads = a.threads;
+
+  if (a.analyze) {
+    flow::Method m = flow::Method::MilpMap;
+    if (a.method != "greedy" && !flow::parseMethodToken(a.method, m)) {
+      std::cerr << "lampc: unknown method '" << a.method << "'\n";
+      return 1;
+    }
+    const analyze::AnalysisReport report =
+        analyze::analyzeGraph(bm->graph, flow::analysisOptions(*bm, m, opts));
+    if (a.json) {
+      analyze::reportToJson(bm->graph, report).write(std::cout);
+      std::cout << "\n";
+    } else {
+      std::cout << analyze::renderReport(bm->graph, report);
+    }
+    return report.hasErrors() ? 1 : 0;
+  }
 
   flow::FlowResult result;
   flow::Method flowMethod;

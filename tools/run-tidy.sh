@@ -1,0 +1,49 @@
+#!/bin/sh
+# run-tidy.sh [BUILD_DIR] — advisory clang-tidy sweep over the compile
+# database, with the curated checks from .clang-tidy.
+#
+# Exit codes:
+#   0  ran (findings, if any, are printed but do not fail the run)
+#   77 skipped — no clang-tidy on PATH or no compile_commands.json
+#      (ctest maps 77 to SKIPPED via SKIP_RETURN_CODE)
+#
+# Usage:
+#   tools/run-tidy.sh build            # after: cmake -B build -S .
+#   ctest -L lint_tidy -V              # same thing, through ctest
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build"}
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+                 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY=$candidate
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run-tidy: clang-tidy not found on PATH; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run-tidy: $BUILD_DIR/compile_commands.json not found" >&2
+  echo "run-tidy: configure first (CMAKE_EXPORT_COMPILE_COMMANDS is on" \
+       "by default); skipping" >&2
+  exit 77
+fi
+
+# First-party translation units only — the compile database also lists
+# test binaries and generated sources we don't want to lint.
+FILES=$(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+
+echo "run-tidy: $TIDY over $(echo "$FILES" | wc -l) files" \
+     "(checks from $ROOT/.clang-tidy)"
+STATUS=0
+# shellcheck disable=SC2086
+$TIDY -p "$BUILD_DIR" --quiet $FILES 2>/dev/null || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "run-tidy: findings reported above (advisory, not failing the run)"
+fi
+exit 0
