@@ -1,0 +1,146 @@
+// Microbenchmark for the bit-level dataflow masking: measures, per
+// benchmark, how much the known-bits / demanded-bits facts (plus the
+// fact-driven graph simplification) shrink the cut enumeration and the
+// downstream mapping-aware MILP. Two configurations per design:
+//   off  cuts enumerated on the original graph without facts,
+//   on   graph simplified from the facts, cuts enumerated with masking.
+// Results go to BENCH_cuts.json with the schema
+//   {bench, config, nodes, cuts, max_cone, milp_vars, milp_constraints,
+//    solve_s, status}
+// so successive PRs can track the reduction trajectory. The README's
+// before/after cut-count table is generated from this output.
+//
+// Knobs: LAMP_SCALE, LAMP_TIME_LIMIT (cap per solve, default 20 s),
+// LAMP_FILTER, LAMP_CSV.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/dataflow.h"
+#include "bench_util.h"
+#include "cut/cut.h"
+#include "ir/simplify.h"
+#include "report/table.h"
+#include "sched/milp_sched.h"
+#include "sched/sdc.h"
+
+using namespace lamp;
+
+namespace {
+
+struct Row {
+  std::string bench;
+  std::string config;
+  std::size_t nodes = 0;
+  std::size_t cuts = 0;
+  std::size_t maxCone = 0;
+  std::size_t milpVars = 0;
+  std::size_t milpConstraints = 0;
+  double solveSeconds = 0.0;
+  std::string status;
+};
+
+void writeJson(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"config\": \"" << r.config
+        << "\", \"nodes\": " << r.nodes << ", \"cuts\": " << r.cuts
+        << ", \"max_cone\": " << r.maxCone << ", \"milp_vars\": " << r.milpVars
+        << ", \"milp_constraints\": " << r.milpConstraints
+        << ", \"solve_s\": " << r.solveSeconds << ", \"status\": \""
+        << r.status << "\"}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+Row measure(const std::string& bench, const std::string& config,
+            const ir::Graph& g, const ir::BitFacts* facts,
+            const sched::ResourceLimits& resources, double timeLimit) {
+  Row row;
+  row.bench = bench;
+  row.config = config;
+  row.nodes = g.size();
+
+  cut::CutEnumOptions co;
+  co.facts = facts;
+  const cut::CutDatabase db = cut::enumerateCuts(g, co);
+  row.cuts = db.totalCuts;
+  for (ir::NodeId v = 0; v < g.size(); ++v) {
+    for (const cut::Cut& c : db.at(v).cuts) {
+      row.maxCone = std::max(row.maxCone, c.coneNodes.size());
+    }
+  }
+
+  sched::DelayModel delays;
+  const cut::CutDatabase trivial = cut::trivialCuts(g, co);
+  sched::SdcOptions sdcOpts;
+  sdcOpts.resources = resources;
+  sched::SdcResult sdc;
+  for (sdcOpts.ii = 1; sdcOpts.ii <= 8; ++sdcOpts.ii) {
+    sdc = sched::sdcSchedule(g, trivial, delays, sdcOpts);
+    if (sdc.success) break;
+  }
+  if (!sdc.success) {
+    row.status = "sdc_failed";
+    return row;
+  }
+
+  sched::MilpSchedOptions mo;
+  mo.ii = sdc.schedule.ii;
+  mo.maxLatency = sdc.schedule.latency(g) + 1;
+  mo.resources = resources;
+  mo.solver.timeLimitSeconds = timeLimit;
+  const sched::MilpSchedResult r = sched::milpSchedule(g, db, delays, mo);
+  row.milpVars = r.numVars;
+  row.milpConstraints = r.numConstraints;
+  row.solveSeconds = r.solveSeconds;
+  row.status = std::string(lp::solveStatusName(r.status));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::envScale();
+  const double timeLimit = bench::envTimeLimit(20.0);
+
+  report::Table table({"Bench", "Config", "Nodes", "Cuts", "MaxCone",
+                       "MilpVars", "MilpRows", "Solve(s)", "Status"});
+  std::vector<Row> rows;
+
+  for (const auto& bm : bench::selectedBenchmarks(scale)) {
+    std::cerr << "[micro_cuts] " << bm.name << "...\n";
+    rows.push_back(measure(bm.name, "off", bm.graph, nullptr, bm.resources,
+                           timeLimit));
+
+    const analyze::DataflowResult dflow = analyze::analyzeDataflow(bm.graph);
+    const ir::BitFacts facts = analyze::toBitFacts(dflow);
+    const ir::Graph simplified = ir::simplify(bm.graph, facts);
+    const analyze::DataflowResult dflow2 = analyze::analyzeDataflow(simplified);
+    const ir::BitFacts facts2 = analyze::toBitFacts(dflow2);
+    rows.push_back(measure(bm.name, "on", simplified, &facts2, bm.resources,
+                           timeLimit));
+  }
+
+  for (const Row& r : rows) {
+    table.addRow({r.bench, r.config, std::to_string(r.nodes),
+                  std::to_string(r.cuts), std::to_string(r.maxCone),
+                  std::to_string(r.milpVars),
+                  std::to_string(r.milpConstraints),
+                  report::fixed(r.solveSeconds), r.status});
+  }
+  if (bench::envCsv()) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  writeJson("BENCH_cuts.json", rows);
+  std::cerr << "[micro_cuts] wrote BENCH_cuts.json (" << rows.size()
+            << " rows)\n";
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/dataflow.h"
 #include "cut/cut.h"
 #include "cut/dep.h"
 #include "ir/passes.h"
@@ -447,7 +448,182 @@ void runFold(const Graph& g, const AnalysisOptions&, AnalysisReport& report) {
   report.diagnostics.push_back(std::move(d));
 }
 
-constexpr std::array<Pass, 7> kPasses = {{
+// ---------------------------------------------------------------------------
+// dataflow: LAMP010-013 — bit-level findings from the fixpoint engine
+
+void runDataflow(const Graph& g, const AnalysisOptions&,
+                 AnalysisReport& report) {
+  const DataflowResult flow = analyzeDataflow(g);
+  const std::vector<bool> live = liveSet(g);
+
+  // Nodes whose value is constant because every (dist-0) operand is
+  // constant belong to LAMP008's const-island finding; reporting their
+  // known compares/selects again here would be noise.
+  std::vector<bool> isConst(g.size(), false);
+  for (NodeId id : ir::topologicalOrder(g)) {
+    const Node& n = g.node(id);
+    if (n.kind == OpKind::Const) {
+      isConst[id] = true;
+      continue;
+    }
+    if (!ir::isLutMappable(n.kind) || n.operands.empty()) continue;
+    bool allConst = true;
+    for (const Edge& e : n.operands) {
+      if (e.dist != 0 || !isConst[e.src]) {
+        allConst = false;
+        break;
+      }
+    }
+    isConst[id] = allConst;
+  }
+
+  const auto mask = [](int w) {
+    return w >= 64 ? ~0ull : (1ull << w) - 1;
+  };
+  // Known bit of `e`'s value as its consumer reads it: through a
+  // register (dist > 0) only known-0 survives, because the reset value
+  // 0 must agree with the proven bit.
+  const auto readBit = [&](const Edge& e, std::uint16_t bit, bool& value) {
+    const NodeBits& b = flow.bits[e.src];
+    if (((b.knownMask >> bit) & 1) == 0) return false;
+    const bool v = ((b.knownVal >> bit) & 1) != 0;
+    if (e.dist > 0 && v) return false;
+    value = e.dist > 0 ? false : v;
+    return true;
+  };
+
+  // LAMP010: top output bits no reachable value can set.
+  {
+    std::vector<NodeId> offenders;
+    int totalBits = 0;
+    NodeId worst = ir::kNoNode;
+    int worstBits = 0;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      const Node& n = g.node(id);
+      if (n.kind != OpKind::Output || n.width == 0) continue;
+      const NodeBits& b = flow.bits[id];
+      const std::uint64_t zeros = b.knownMask & ~b.knownVal & mask(n.width);
+      int top = 0;
+      for (int j = n.width - 1; j >= 0 && ((zeros >> j) & 1) != 0; --j) ++top;
+      if (top == 0) continue;
+      offenders.push_back(id);
+      totalBits += top;
+      if (top > worstBits) {
+        worstBits = top;
+        worst = id;
+      }
+    }
+    if (!offenders.empty()) {
+      Diagnostic d;
+      d.code = std::string(kCodeDeadOutputBits);
+      d.severity = Severity::Info;
+      std::ostringstream os;
+      os << totalBits << " output bit(s) across " << offenders.size()
+         << " port(s) are provably zero; worst is " << nodeLabel(g, worst)
+         << " whose top " << worstBits << " bit(s) never rise";
+      d.message = os.str();
+      d.nodes = std::move(offenders);
+      d.hint = "narrow the output port (or enable FlowOptions::simplify "
+               "to let the flow narrow internally)";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // LAMP011: truncations that always lose set bits.
+  {
+    std::vector<NodeId> offenders;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      const Node& n = g.node(id);
+      if (!live[id] || isConst[id] || n.kind != OpKind::Slice) continue;
+      const Edge& e = n.operands[0];
+      const std::uint16_t srcWidth = g.node(e.src).width;
+      const std::uint64_t kept = mask(n.width) << n.attr0;
+      const std::uint64_t dropped = mask(srcWidth) & ~kept;
+      // Only dist-0 known-1 bits prove a loss (see readBit).
+      const NodeBits& b = flow.bits[e.src];
+      const std::uint64_t ones =
+          e.dist == 0 ? (b.knownMask & b.knownVal) : 0;
+      if ((ones & dropped) != 0) offenders.push_back(id);
+    }
+    if (!offenders.empty()) {
+      Diagnostic d;
+      d.code = std::string(kCodeOverflowTruncation);
+      d.severity = Severity::Warning;
+      d.message = std::to_string(offenders.size()) +
+                  " truncation(s) always drop bits that are provably set "
+                  "(the sliced-away range contains known-1 bits)";
+      d.nodes = std::move(offenders);
+      d.hint = "widen the slice or fix the producer; the dropped bits can "
+               "never reach an observer";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // LAMP012: comparisons whose outcome is proven.
+  {
+    std::vector<NodeId> offenders;
+    bool anyTrue = false, anyFalse = false;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      const Node& n = g.node(id);
+      if (!live[id] || isConst[id]) continue;
+      if (n.kind != OpKind::Eq && n.kind != OpKind::Ne &&
+          n.kind != OpKind::Lt && n.kind != OpKind::Le &&
+          n.kind != OpKind::Gt && n.kind != OpKind::Ge) {
+        continue;
+      }
+      const NodeBits& b = flow.bits[id];
+      if ((b.knownMask & 1) == 0) continue;
+      offenders.push_back(id);
+      ((b.knownVal & 1) != 0 ? anyTrue : anyFalse) = true;
+    }
+    if (!offenders.empty()) {
+      Diagnostic d;
+      d.code = std::string(kCodeConstantCompare);
+      d.severity = Severity::Warning;
+      std::string kinds = anyTrue && anyFalse ? "always-true/always-false"
+                          : anyTrue           ? "always-true"
+                                              : "always-false";
+      d.message = std::to_string(offenders.size()) + " " + kinds +
+                  " comparison(s): the operand ranges/bits prove the "
+                  "result before any input arrives";
+      d.nodes = std::move(offenders);
+      d.hint = "replace the comparison with a constant (or enable "
+               "FlowOptions::simplify to fold it)";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // LAMP013: mux arms no select value reaches.
+  {
+    std::vector<NodeId> offenders;
+    for (NodeId id = 0; id < g.size(); ++id) {
+      const Node& n = g.node(id);
+      if (!live[id] || isConst[id] || n.kind != OpKind::Mux) continue;
+      bool sel = false;
+      if (!readBit(n.operands[0], 0, sel)) continue;
+      // The select itself being a const island is LAMP008 territory.
+      if (g.node(n.operands[0].src).kind == OpKind::Const ||
+          isConst[n.operands[0].src]) {
+        continue;
+      }
+      offenders.push_back(id);
+    }
+    if (!offenders.empty()) {
+      Diagnostic d;
+      d.code = std::string(kCodeDeadMuxArm);
+      d.severity = Severity::Warning;
+      d.message = std::to_string(offenders.size()) +
+                  " mux(es) have a proven select: one data arm can never "
+                  "be chosen";
+      d.nodes = std::move(offenders);
+      d.hint = "drop the dead arm (or enable FlowOptions::simplify to "
+               "forward the live one)";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+constexpr std::array<Pass, 8> kPasses = {{
     {"structure", "LAMP007,LAMP009",
      "IR well-formedness (all violations) and observable sinks", runStructure},
     {"clock", "LAMP001",
@@ -462,6 +638,8 @@ constexpr std::array<Pass, 7> kPasses = {{
      "dead nodes and unused inputs", runLiveness},
     {"fold", "LAMP008",
      "constant-foldable islands", runFold},
+    {"dataflow", "LAMP010,LAMP011,LAMP012,LAMP013",
+     "bit-level known-bits/range/demanded findings", runDataflow},
 }};
 
 }  // namespace

@@ -31,6 +31,12 @@
 ///  - liveness:    dead nodes / unused inputs. (LAMP005, LAMP006)
 ///  - fold:        constant islands a front-end should have folded.
 ///                 (LAMP008)
+///  - dataflow:    bit-level findings from the known-bits/range/demanded
+///                 fixpoint (dataflow.h): output bits provably zero
+///                 (LAMP010), truncations that always drop set bits
+///                 (LAMP011), comparisons with a proven constant result
+///                 (LAMP012), and mux arms no select value reaches
+///                 (LAMP013).
 
 #include <span>
 #include <string>

@@ -1,0 +1,758 @@
+#include "analyze/dataflow.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+
+#include "ir/eval.h"
+#include "ir/passes.h"
+
+namespace lamp::analyze {
+
+using ir::Edge;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+
+namespace {
+
+std::uint64_t fullMask(std::uint16_t width) {
+  return width >= 64 ? ~0ull : (1ull << width) - 1;
+}
+
+// Shifts with an out-of-range guard (shifting a uint64 by >= 64 is UB;
+// semantically those bits are gone).
+std::uint64_t shl(std::uint64_t v, unsigned s) { return s >= 64 ? 0 : v << s; }
+std::uint64_t shr(std::uint64_t v, unsigned s) { return s >= 64 ? 0 : v >> s; }
+
+/// Forward abstract value: known bits plus an unsigned interval, both
+/// over the producing node's width.
+struct Val {
+  std::uint64_t km = 0;  ///< bit known
+  std::uint64_t kv = 0;  ///< value of known bits (subset of km)
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+Val topVal(std::uint16_t w) { return Val{0, 0, 0, fullMask(w)}; }
+
+Val constVal(std::uint64_t c, std::uint16_t w) {
+  const std::uint64_t m = ir::maskToWidth(c, w);
+  return Val{fullMask(w), m, m, m};
+}
+
+Val joinVal(const Val& a, const Val& b) {
+  Val j;
+  j.km = a.km & b.km & ~(a.kv ^ b.kv);
+  j.kv = a.kv & j.km;
+  j.lo = std::min(a.lo, b.lo);
+  j.hi = std::max(a.hi, b.hi);
+  return j;
+}
+
+/// Mutual refinement of the two forward lattices: the common high
+/// prefix of [lo, hi] is known, and known bits envelope the interval.
+void refine(Val& v, std::uint16_t w) {
+  const std::uint64_t mask = fullMask(w);
+  v.km &= mask;
+  v.kv &= v.km;
+  v.lo = std::min(v.lo, mask);
+  v.hi = std::min(v.hi, mask);
+  if (v.lo > v.hi) std::swap(v.lo, v.hi);  // defensive
+  // Range -> known: bits above the highest differing bit of lo and hi
+  // are shared by every value in between.
+  const std::uint64_t x = v.lo ^ v.hi;
+  const std::uint64_t below = x == 0 ? 0 : (shl(2, std::bit_width(x) - 1) - 1);
+  const std::uint64_t common = mask & ~below;
+  const std::uint64_t fresh = common & ~v.km;
+  v.km |= fresh;
+  v.kv |= v.lo & fresh;
+  // Known -> range: unknown bits only ever add to kv.
+  v.lo = std::max(v.lo, v.kv);
+  v.hi = std::min(v.hi, v.kv | (~v.km & mask));
+  if (v.lo > v.hi) {  // contradictory facts: fall back to the envelope
+    v.lo = v.kv;
+    v.hi = v.kv | (~v.km & mask);
+  }
+}
+
+/// Ripple-carry knownness of a + b + carryIn over w bits. The sum bit is
+/// known when a, b and the carry are; the carry out is known whenever
+/// any two of them are known and agree (their value is the majority).
+Val addKnown(const Val& a, const Val& b, bool carryKnown, bool carryVal,
+             std::uint16_t w) {
+  Val r;
+  for (std::uint16_t j = 0; j < w && j < 64; ++j) {
+    const bool aK = (a.km >> j) & 1, bK = (b.km >> j) & 1;
+    const bool av = (a.kv >> j) & 1, bv = (b.kv >> j) & 1;
+    if (aK && bK && carryKnown) {
+      if (av ^ bv ^ carryVal) r.kv |= 1ull << j;
+      r.km |= 1ull << j;
+    }
+    if (aK && bK && av == bv) {
+      carryKnown = true;
+      carryVal = av;
+    } else if (aK && carryKnown && av == carryVal) {
+      carryVal = av;
+    } else if (bK && carryKnown && bv == carryVal) {
+      carryVal = bv;
+    } else {
+      carryKnown = false;
+    }
+  }
+  return r;
+}
+
+struct Engine {
+  const Graph& g;
+  const DataflowOptions& opts;
+  std::vector<Val> state;
+  std::vector<bool> computed;
+  std::vector<int> updates;
+  std::size_t visits = 0;
+  bool converged = true;
+
+  explicit Engine(const Graph& graph, const DataflowOptions& options)
+      : g(graph), opts(options), state(graph.size()),
+        computed(graph.size(), false), updates(graph.size(), 0) {}
+
+  std::uint16_t width(NodeId v) const { return g.node(v).width; }
+  std::uint16_t opWidth(NodeId v, std::size_t i) const {
+    return g.node(g.node(v).operands[i].src).width;
+  }
+
+  /// Abstract value an operand reference reads: the producer's state,
+  /// joined with the register reset value 0 for loop-carried edges
+  /// (matching the interpreter's edge-level semantics). An uncomputed
+  /// producer — only reachable through a dist > 0 forward reference on
+  /// the first sweep — contributes just the reset value.
+  Val readOperand(const Edge& e) const {
+    const std::uint16_t w = g.node(e.src).width;
+    if (!computed[e.src]) return constVal(0, w);
+    Val v = state[e.src];
+    if (e.dist > 0) v = joinVal(v, constVal(0, w));
+    return v;
+  }
+
+  Val transfer(NodeId id) const {
+    const Node& n = g.node(id);
+    const std::uint16_t w = n.width;
+    const std::uint64_t mask = fullMask(w);
+
+    std::vector<Val> in;
+    in.reserve(n.operands.size());
+    for (const Edge& e : n.operands) in.push_back(readOperand(e));
+
+    // Generic full fold: every operand fully known and the op is pure.
+    if (!n.operands.empty() && n.kind != OpKind::Load &&
+        n.kind != OpKind::Store) {
+      bool allKnown = true;
+      std::vector<std::uint64_t> ops;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        allKnown &= in[i].km == fullMask(opWidth(id, i));
+        ops.push_back(in[i].kv);
+      }
+      if (allKnown) {
+        if (const auto value = ir::evalPureOp(g, id, ops)) {
+          return constVal(*value, w);
+        }
+      }
+    }
+
+    Val r = topVal(w);
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Load:
+        break;  // top
+      case OpKind::Store:
+        return Val{};  // width 0: nothing to know
+      case OpKind::Const:
+        return constVal(n.constValue, w);
+      case OpKind::Output:
+        return in[0];
+
+      case OpKind::And: {
+        const Val &a = in[0], &b = in[1];
+        r.km = (a.km & b.km) | (a.km & ~a.kv) | (b.km & ~b.kv);
+        r.kv = a.kv & b.kv;
+        r.lo = 0;
+        r.hi = std::min(a.hi, b.hi);
+        break;
+      }
+      case OpKind::Or: {
+        const Val &a = in[0], &b = in[1];
+        r.km = (a.km & b.km) | (a.km & a.kv) | (b.km & b.kv);
+        r.kv = (a.kv | b.kv) & r.km;
+        r.lo = std::max(a.lo, b.lo);
+        r.hi = fullMask(std::max(std::bit_width(a.hi), std::bit_width(b.hi)));
+        break;
+      }
+      case OpKind::Xor: {
+        const Val &a = in[0], &b = in[1];
+        r.km = a.km & b.km;
+        r.kv = (a.kv ^ b.kv) & r.km;
+        r.lo = 0;
+        r.hi = fullMask(std::max(std::bit_width(a.hi), std::bit_width(b.hi)));
+        break;
+      }
+      case OpKind::Not: {
+        const Val& a = in[0];
+        r.km = a.km;
+        r.kv = ~a.kv & a.km & mask;
+        r.lo = mask - a.hi;
+        r.hi = mask - a.lo;
+        break;
+      }
+
+      case OpKind::Shl: {
+        const Val& a = in[0];
+        const auto s = static_cast<unsigned>(n.attr0);
+        r.km = (shl(a.km, s) | (shl(1, s) - 1)) & mask;
+        r.kv = shl(a.kv, s) & mask;
+        if (s == 0 || a.hi <= shr(mask, s)) {  // no bits shifted out
+          r.lo = shl(a.lo, s);
+          r.hi = shl(a.hi, s);
+        }
+        break;
+      }
+      case OpKind::Shr: {
+        const Val& a = in[0];
+        const auto s = static_cast<unsigned>(n.attr0);
+        r.km = (shr(a.km, s) | (mask & ~shr(mask, s))) & mask;
+        r.kv = shr(a.kv, s);
+        r.lo = shr(a.lo, s);
+        r.hi = shr(a.hi, s);
+        break;
+      }
+      case OpKind::AShr: {
+        const Val& a = in[0];
+        const auto s = static_cast<unsigned>(n.attr0);
+        const std::uint64_t sign = 1ull << (w - 1);
+        if ((a.km & sign) != 0 && (a.kv & sign) == 0) {
+          // Sign known 0: behaves as a logical shift.
+          r.km = (shr(a.km, s) | (mask & ~shr(mask, s))) & mask;
+          r.kv = shr(a.kv, s);
+          r.lo = shr(a.lo, s);
+          r.hi = shr(a.hi, s);
+        } else {
+          // Replicated sign: bit j reads a[min(j+s, w-1)].
+          for (std::uint16_t j = 0; j < w; ++j) {
+            const std::uint16_t src =
+                static_cast<std::uint32_t>(j) + s >= w ? w - 1 : j + s;
+            if ((a.km >> src) & 1) {
+              r.km |= 1ull << j;
+              r.kv |= ((a.kv >> src) & 1) << j;
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::Slice: {
+        const Val& a = in[0];
+        const auto s = static_cast<unsigned>(n.attr0);
+        r.km = shr(a.km, s) & mask;
+        r.kv = shr(a.kv, s) & mask;
+        r.hi = std::min(mask, shr(a.hi, s));
+        if (s + w >= opWidth(id, 0)) r.lo = shr(a.lo, s);  // no truncation
+        break;
+      }
+      case OpKind::Concat: {
+        const Val &a = in[0], &b = in[1];
+        const std::uint16_t wb = opWidth(id, 1);
+        r.km = (shl(a.km, wb) | b.km) & mask;
+        r.kv = (shl(a.kv, wb) | b.kv) & mask;
+        r.lo = shl(a.lo, wb) + b.lo;
+        r.hi = shl(a.hi, wb) + b.hi;
+        break;
+      }
+      case OpKind::ZExt: {
+        const Val& a = in[0];
+        r.km = a.km | (mask & ~fullMask(opWidth(id, 0)));
+        r.kv = a.kv;
+        r.lo = a.lo;
+        r.hi = a.hi;
+        break;
+      }
+      case OpKind::SExt: {
+        const Val& a = in[0];
+        const std::uint16_t wa = opWidth(id, 0);
+        const std::uint64_t sign = 1ull << (wa - 1);
+        const std::uint64_t high = mask & ~fullMask(wa);
+        r.km = a.km & fullMask(wa);
+        r.kv = a.kv;
+        if ((a.km & sign) != 0) {
+          r.km |= high;
+          if ((a.kv & sign) != 0) {
+            r.kv |= high;
+            r.lo = high | std::max(a.lo, sign);
+            r.hi = high | a.hi;
+          } else {
+            r.lo = a.lo;
+            r.hi = std::min(a.hi, sign - 1);
+          }
+        }
+        break;
+      }
+
+      case OpKind::Add:
+      case OpKind::Sub: {
+        const Val& a = in[0];
+        Val b = in[1];
+        bool carry = false;
+        if (n.kind == OpKind::Sub) {  // a + ~b + 1
+          b.kv = ~b.kv & b.km & mask;
+          carry = true;
+        }
+        r = addKnown(a, b, true, carry, w);
+        r.lo = 0;
+        r.hi = mask;
+        const Val& rb = in[1];
+        if (n.kind == OpKind::Add) {
+          if (a.hi <= ~0ull - rb.hi && a.hi + rb.hi <= mask) {
+            r.lo = a.lo + rb.lo;
+            r.hi = a.hi + rb.hi;
+          } else if (w < 64 && a.lo + rb.lo > mask) {  // every sum wraps
+            r.lo = a.lo + rb.lo - mask - 1;
+            r.hi = std::min(a.hi + rb.hi - mask - 1, mask);
+          }
+        } else {
+          if (a.lo >= rb.hi) {  // never wraps
+            r.lo = a.lo - rb.hi;
+            r.hi = a.hi - rb.lo;
+          } else if (w < 64 && a.hi < rb.lo) {  // always wraps
+            r.lo = mask + 1 + a.lo - rb.hi;
+            r.hi = mask + 1 + a.hi - rb.lo;
+          }
+        }
+        break;
+      }
+
+      case OpKind::Eq:
+      case OpKind::Ne:
+      case OpKind::Lt:
+      case OpKind::Le:
+      case OpKind::Gt:
+      case OpKind::Ge:
+        r = compareVal(id, in[0], in[1]);
+        break;
+
+      case OpKind::Mux: {
+        const Val& sel = in[0];
+        if ((sel.km & 1) != 0) {
+          return (sel.kv & 1) != 0 ? in[1] : in[2];
+        }
+        r = joinVal(in[1], in[2]);
+        break;
+      }
+
+      case OpKind::Mul: {
+        const Val &a = in[0], &b = in[1];
+        // Trailing known-zero bits of the factors add up in the product.
+        const int tz = std::countr_one(a.km & ~a.kv) +
+                       std::countr_one(b.km & ~b.kv);
+        r.km = mask & (shl(1, tz) - 1);
+        r.kv = 0;
+        if ((a.hi == 0 || b.hi <= ~0ull / a.hi) && a.hi * b.hi <= mask) {
+          r.lo = a.lo * b.lo;  // product fits the node width: no wrap
+          r.hi = a.hi * b.hi;
+        }
+        break;
+      }
+    }
+    refine(r, w);
+    return r;
+  }
+
+  /// Comparison knownness from ranges and known-bit disagreement.
+  /// Signed operands are mapped to the unsigned order by flipping the
+  /// sign bit, legal only for ranges that do not cross the boundary.
+  Val compareVal(NodeId id, Val a, Val b) const {
+    const Node& n = g.node(id);
+    const std::uint16_t wa = opWidth(id, 0);
+    bool known = false, value = false;
+    if (n.kind == OpKind::Eq || n.kind == OpKind::Ne) {
+      if (a.hi < b.lo || b.hi < a.lo ||
+          (a.km & b.km & (a.kv ^ b.kv)) != 0) {
+        known = true;
+        value = n.kind == OpKind::Ne;
+      }
+    } else {
+      bool comparable = true;
+      if (n.isSigned) {
+        const std::uint64_t sign = 1ull << (wa - 1);
+        const auto crosses = [&](const Val& v) {
+          return v.lo < sign && v.hi >= sign;
+        };
+        comparable = !crosses(a) && !crosses(b);
+        if (comparable) {
+          a.lo ^= sign;
+          a.hi ^= sign;
+          b.lo ^= sign;
+          b.hi ^= sign;
+        }
+      }
+      if (comparable) {
+        const bool swap = n.kind == OpKind::Gt || n.kind == OpKind::Ge;
+        if (swap) std::swap(a, b);  // a < b / a <= b forms only
+        const bool orEq = n.kind == OpKind::Le || n.kind == OpKind::Ge;
+        if (orEq ? a.hi <= b.lo : a.hi < b.lo) {
+          known = true;
+          value = true;
+        } else if (orEq ? a.lo > b.hi : a.lo >= b.hi) {
+          known = true;
+          value = false;
+        }
+      }
+    }
+    if (!known) return topVal(1);
+    return constVal(value ? 1 : 0, 1);
+  }
+
+  void runForward() {
+    std::deque<NodeId> work;
+    std::vector<bool> inList(g.size(), false);
+    for (const NodeId v : ir::topologicalOrder(g)) {
+      work.push_back(v);
+      inList[v] = true;
+    }
+    const auto& fanouts = g.fanouts();
+    while (!work.empty()) {
+      if (++visits > opts.maxVisits) {
+        converged = false;
+        break;
+      }
+      const NodeId v = work.front();
+      work.pop_front();
+      inList[v] = false;
+
+      Val next = transfer(v);
+      if (computed[v]) {
+        next = joinVal(state[v], next);  // monotone: joins only widen
+        refine(next, width(v));
+      }
+      if (computed[v] && ++updates[v] > opts.wideningThreshold) {
+        // Widen the interval to the known-bit envelope: it then moves
+        // only when a known bit is lost, bounding the iteration count.
+        next.lo = next.kv;
+        next.hi = next.kv | (~next.km & fullMask(width(v)));
+      }
+      const bool changed = !computed[v] || next.km != state[v].km ||
+                           next.kv != state[v].kv || next.lo != state[v].lo ||
+                           next.hi != state[v].hi;
+      computed[v] = true;
+      if (!changed) continue;
+      state[v] = next;
+      for (const Graph::Fanout& f : fanouts[v]) {
+        if (!inList[f.dst]) {
+          work.push_back(f.dst);
+          inList[f.dst] = true;
+        }
+      }
+    }
+  }
+};
+
+/// Backward demanded-bits pass over the final forward state.
+struct Backward {
+  const Graph& g;
+  const std::vector<Val>& fwd;
+  const DataflowOptions& opts;
+  std::vector<std::uint64_t> demanded;
+  std::vector<std::uint64_t> live;
+  std::size_t visits = 0;
+  bool converged = true;
+
+  Backward(const Graph& graph, const std::vector<Val>& forward,
+           const DataflowOptions& options)
+      : g(graph),
+        fwd(forward),
+        opts(options),
+        demanded(graph.size(), 0),
+        live(graph.size(), 0) {}
+
+  /// Known bits of the value an operand reference reads (reset-joined
+  /// for loop-carried edges): known 0 survives the join with reset 0.
+  Val readOperand(const Edge& e) const {
+    Val v = fwd[e.src];
+    if (e.dist > 0) v = joinVal(v, constVal(0, g.node(e.src).width));
+    return v;
+  }
+
+  bool isConstEdge(const Edge& e) const {
+    return g.node(e.src).kind == OpKind::Const;
+  }
+
+  /// Bits of operand `i` that output demand D of node `id` can observe.
+  ///
+  /// With `forLive` set the value-based refinements (And/Or dominance,
+  /// known mux selects) only apply when the dominating sibling is a
+  /// Const node. The live mask licenses whole-value substitutions, and
+  /// those run simultaneously across the graph: a refinement justified
+  /// by a *computed* sibling's known bit can be invalidated when that
+  /// sibling is itself rewritten on a non-live position, but a Const is
+  /// immutable. Structural cases (shifts, slices, concat, arithmetic
+  /// prefixes) are exact for any operand values and stay shared.
+  std::uint64_t operandDemand(NodeId id, std::size_t i, std::uint64_t d,
+                              bool forLive = false) const {
+    const Node& n = g.node(id);
+    const std::uint16_t wa = g.node(n.operands[i].src).width;
+    const std::uint64_t opm = fullMask(wa);
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Const:
+        return 0;
+      case OpKind::Output:
+        return d & opm;
+      case OpKind::Store:
+        return opm;  // side effect: address and data always observable
+      case OpKind::Load:
+      case OpKind::Mul:
+        return d != 0 ? opm : 0;  // black boxes use whole ports
+
+      case OpKind::And: {
+        if (forLive && !isConstEdge(n.operands[1 - i])) return d & opm;
+        const Val other = readOperand(n.operands[1 - i]);
+        return d & ~(other.km & ~other.kv) & opm;  // known-0 dominates
+      }
+      case OpKind::Or: {
+        if (forLive && !isConstEdge(n.operands[1 - i])) return d & opm;
+        const Val other = readOperand(n.operands[1 - i]);
+        return d & ~(other.km & other.kv) & opm;  // known-1 dominates
+      }
+      case OpKind::Xor:
+      case OpKind::Not:
+        return d & opm;
+
+      case OpKind::Shl:
+        return shr(d, static_cast<unsigned>(n.attr0)) & opm;
+      case OpKind::Shr:
+      case OpKind::Slice:
+        return shl(d, static_cast<unsigned>(n.attr0)) & opm;
+      case OpKind::AShr: {
+        const auto s = static_cast<unsigned>(n.attr0);
+        std::uint64_t req = shl(d, s) & opm;
+        if (s > 0 && shr(d, n.width - s) != 0) req |= 1ull << (n.width - 1);
+        return req;
+      }
+      case OpKind::Concat: {
+        const std::uint16_t wb = g.node(n.operands[1].src).width;
+        return i == 0 ? shr(d, wb) & opm : d & fullMask(wb);
+      }
+      case OpKind::ZExt:
+        return d & opm;
+      case OpKind::SExt: {
+        std::uint64_t req = d & opm;
+        if (shr(d, wa) != 0) req |= 1ull << (wa - 1);
+        return req;
+      }
+
+      case OpKind::Add:
+      case OpKind::Sub:
+        // Bit j needs operand bits <= j: a prefix up to the top demand.
+        return d == 0 ? 0 : fullMask(std::bit_width(d)) & opm;
+
+      case OpKind::Eq:
+      case OpKind::Ne:
+      case OpKind::Lt:
+      case OpKind::Le:
+      case OpKind::Gt:
+      case OpKind::Ge:
+        if ((d & 1) == 0) return 0;
+        // Recognized sign tests collapse to the sign bit of operand 0
+        // (mirrors cut::isSignTest without a cut-layer dependency).
+        if (n.isSigned && (n.kind == OpKind::Lt || n.kind == OpKind::Ge) &&
+            g.node(n.operands[1].src).kind == OpKind::Const &&
+            g.node(n.operands[1].src).constValue == 0) {
+          return i == 0 ? 1ull << (wa - 1) : 0;
+        }
+        return opm;
+
+      case OpKind::Mux: {
+        if (forLive && !isConstEdge(n.operands[0])) {
+          return i == 0 ? (d != 0 ? 1 : 0) : d & opm;
+        }
+        const Val sel = readOperand(n.operands[0]);
+        const bool selKnown = (sel.km & 1) != 0;
+        if (i == 0) return (d != 0 && !selKnown) ? 1 : 0;
+        if (!selKnown) return d & opm;
+        const bool takesA = (sel.kv & 1) != 0;
+        return (i == 1) == takesA ? d & opm : 0;
+      }
+    }
+    return opm;
+  }
+
+  void run() {
+    std::deque<NodeId> work;
+    std::vector<bool> inList(g.size(), false);
+    const auto push = [&](NodeId v) {
+      if (!inList[v]) {
+        work.push_back(v);
+        inList[v] = true;
+      }
+    };
+    for (NodeId v = 0; v < g.size(); ++v) {
+      const OpKind k = g.node(v).kind;
+      if (k == OpKind::Output) {
+        demanded[v] = fullMask(g.node(v).width);
+        live[v] = demanded[v];
+      }
+      if (k == OpKind::Output || k == OpKind::Store) push(v);
+    }
+    while (!work.empty()) {
+      if (++visits > opts.maxVisits) {
+        converged = false;
+        break;
+      }
+      const NodeId v = work.front();
+      work.pop_front();
+      inList[v] = false;
+      // Known output bits need no inputs: the LUT mask (or a fold)
+      // supplies them, so demand only flows from the unknown bits. The
+      // live mask skips that stripping — observers still *read* known
+      // bits, and any rewrite that substitutes a whole value must keep
+      // them, so liveness follows every observed bit to its sources.
+      const std::uint64_t d = demanded[v] & ~fwd[v].km;
+      const Node& n = g.node(v);
+      for (std::size_t i = 0; i < n.operands.size(); ++i) {
+        const NodeId u = n.operands[i].src;
+        const std::uint64_t req = demanded[u] | operandDemand(v, i, d);
+        if (req != demanded[u]) {
+          demanded[u] = req;
+          push(u);
+        }
+        const std::uint64_t liv =
+            live[u] | operandDemand(v, i, live[v], /*forLive=*/true);
+        if (liv != live[u]) {
+          live[u] = liv;
+          push(u);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DataflowResult analyzeDataflow(const Graph& g, const DataflowOptions& opts) {
+  Engine fwd(g, opts);
+  fwd.runForward();
+  Backward bwd(g, fwd.state, opts);
+  bwd.run();
+
+  DataflowResult r;
+  r.forwardVisits = fwd.visits;
+  r.backwardVisits = bwd.visits;
+  r.converged = fwd.converged && bwd.converged;
+  r.bits.resize(g.size());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const Val& s = fwd.state[v];
+    r.bits[v] =
+        NodeBits{s.km, s.kv, bwd.demanded[v], bwd.live[v], s.lo, s.hi};
+  }
+  return r;
+}
+
+ir::BitFacts toBitFacts(const DataflowResult& r) {
+  ir::BitFacts f;
+  f.knownMask.reserve(r.bits.size());
+  for (const NodeBits& b : r.bits) {
+    f.knownMask.push_back(b.knownMask);
+    f.knownVal.push_back(b.knownVal);
+    f.demanded.push_back(b.demanded);
+    f.live.push_back(b.live);
+    f.lo.push_back(b.lo);
+    f.hi.push_back(b.hi);
+  }
+  return f;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[19] = "0x";
+  char* p = buf + 2;
+  bool started = false;
+  for (int s = 60; s >= 0; s -= 4) {
+    const auto nib = static_cast<unsigned>((v >> s) & 0xF);
+    if (!started && nib == 0 && s != 0) continue;
+    started = true;
+    *p++ = "0123456789abcdef"[nib];
+  }
+  return std::string(buf, p - buf);
+}
+
+bool parseHex64(const util::Json* j, std::uint64_t& out, std::string* error,
+                const char* field) {
+  if (j == nullptr || !j->isString() ||
+      j->asString().rfind("0x", 0) != 0) {
+    if (error) *error = std::string("analysis entry: missing hex ") + field;
+    return false;
+  }
+  out = 0;
+  const std::string& s = j->asString();
+  if (s.size() < 3 || s.size() > 18) {
+    if (error) *error = std::string("analysis entry: bad hex ") + field;
+    return false;
+  }
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    unsigned nib = 0;
+    if (c >= '0' && c <= '9') nib = c - '0';
+    else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+    else {
+      if (error) *error = std::string("analysis entry: bad hex ") + field;
+      return false;
+    }
+    out = (out << 4) | nib;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Json dataflowToJson(const std::vector<NodeBits>& bits) {
+  util::Json arr = util::Json::array();
+  for (const NodeBits& b : bits) {
+    util::Json j = util::Json::object();
+    j.set("known", util::Json::string(hex64(b.knownMask)));
+    j.set("val", util::Json::string(hex64(b.knownVal)));
+    j.set("demanded", util::Json::string(hex64(b.demanded)));
+    j.set("live", util::Json::string(hex64(b.live)));
+    j.set("lo", util::Json::string(hex64(b.lo)));
+    j.set("hi", util::Json::string(hex64(b.hi)));
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
+bool dataflowFromJson(const util::Json& j, std::vector<NodeBits>& out,
+                      std::string* error) {
+  if (!j.isArray()) {
+    if (error) *error = "analysis: expected an array";
+    return false;
+  }
+  out.clear();
+  out.reserve(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const util::Json& e = j.at(i);
+    if (!e.isObject()) {
+      if (error) *error = "analysis entry: expected an object";
+      return false;
+    }
+    NodeBits b;
+    if (!parseHex64(e.find("known"), b.knownMask, error, "known") ||
+        !parseHex64(e.find("val"), b.knownVal, error, "val") ||
+        !parseHex64(e.find("demanded"), b.demanded, error, "demanded") ||
+        !parseHex64(e.find("live"), b.live, error, "live") ||
+        !parseHex64(e.find("lo"), b.lo, error, "lo") ||
+        !parseHex64(e.find("hi"), b.hi, error, "hi")) {
+      return false;
+    }
+    out.push_back(b);
+  }
+  return true;
+}
+
+}  // namespace lamp::analyze

@@ -16,6 +16,10 @@
 ///   LAMP007  structural violation (ir::verifyAll)
 ///   LAMP008  constant-foldable island
 ///   LAMP009  graph has no observable sinks
+///   LAMP010  dead output bits (high bits of a sink no producer can set)
+///   LAMP011  truncation provably drops known-set bits
+///   LAMP012  comparison with a range/bit-proven constant result
+///   LAMP013  mux arm no select value can reach
 ///
 /// Severity policy: Error means the MILP flow is provably doomed (or the
 /// graph is malformed) and the solver must not run; Warning means the
@@ -49,6 +53,10 @@ inline constexpr std::string_view kCodeUnusedInput = "LAMP006";
 inline constexpr std::string_view kCodeStructural = "LAMP007";
 inline constexpr std::string_view kCodeConstFoldable = "LAMP008";
 inline constexpr std::string_view kCodeNoSinks = "LAMP009";
+inline constexpr std::string_view kCodeDeadOutputBits = "LAMP010";
+inline constexpr std::string_view kCodeOverflowTruncation = "LAMP011";
+inline constexpr std::string_view kCodeConstantCompare = "LAMP012";
+inline constexpr std::string_view kCodeDeadMuxArm = "LAMP013";
 
 /// One structured finding. `nodes` lists the ids the finding is anchored
 /// on (the binding recurrence cycle for LAMP002, the offending nodes for

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "ir/simplify.h"
 
 namespace lamp::cut {
 
@@ -98,6 +99,15 @@ struct CutEnumOptions {
   int maxCutsPerNode = 8;   ///< priority cap after pruning
   int maxElements = 8;      ///< word-level boundary size cap
   int maxIterations = 1 << 22;  ///< worklist safety bound
+  /// Optional bit-level facts computed on the SAME graph being
+  /// enumerated (analyze::analyzeDataflow + toBitFacts): output bits no
+  /// observer demands are skipped entirely (no support, no LUT, no K
+  /// check) and known operand bits fold into the LUT mask like Const
+  /// operands, shrinking supports and the MILP's cut-selection space.
+  /// Ignored when null or size-mismatched. Must outlive the enumeration;
+  /// any schedule validated against masked cuts needs the same facts
+  /// (sched::ValidationInput::facts).
+  const ir::BitFacts* facts = nullptr;
 };
 
 /// Cut sets for every node plus enumeration statistics.

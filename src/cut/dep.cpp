@@ -25,23 +25,46 @@ bool constBit(const Graph& g, const Node& n, int opIdx, std::uint16_t bit) {
   return ((g.node(n.operands[opIdx].src).constValue >> bit) & 1) != 0;
 }
 
+/// Whether the bit an operand reference reads is analysis-known, and
+/// its value. Loop-carried reads join with the register reset, so only
+/// known-0 producer bits stay known through a dist > 0 edge.
+bool knownOperandBit(const ir::BitFacts* facts, const ir::Edge& e,
+                     std::uint16_t bit, bool* value) {
+  if (facts == nullptr || e.src >= facts->knownMask.size()) return false;
+  if (((facts->knownMask[e.src] >> bit) & 1) == 0) return false;
+  const bool v = ((facts->knownVal[e.src] >> bit) & 1) != 0;
+  if (e.dist > 0 && v) return false;  // reset 0 disagrees with a known 1
+  if (value != nullptr) *value = e.dist > 0 ? false : v;
+  return true;
+}
+
 }  // namespace
 
-bool isIdentityBit(const Graph& g, ir::NodeId node, std::uint16_t bit) {
+bool isIdentityBit(const Graph& g, ir::NodeId node, std::uint16_t bit,
+                   const ir::BitFacts* facts) {
   const Node& n = g.node(node);
   if (isWireClass(n.kind)) return true;
   if (n.kind != OpKind::And && n.kind != OpKind::Or && n.kind != OpKind::Xor) {
     return false;
   }
+  const auto neutral = [&](bool one) {
+    switch (n.kind) {
+      case OpKind::And: return one;    // x & 1 = x
+      case OpKind::Or: return !one;    // x | 0 = x
+      case OpKind::Xor: return !one;   // x ^ 0 = x (x ^ 1 needs a NOT LUT)
+      default: return false;
+    }
+  };
   const int ci = constOperand(g, n);
-  if (ci < 0) return false;
-  const bool one = constBit(g, n, ci, bit);
-  switch (n.kind) {
-    case OpKind::And: return one;    // x & 1 = x
-    case OpKind::Or: return !one;    // x | 0 = x
-    case OpKind::Xor: return !one;   // x ^ 0 = x (x ^ 1 needs a NOT LUT)
-    default: return false;
+  if (ci >= 0 && neutral(constBit(g, n, ci, bit))) return true;
+  // Analysis-known neutral bits make the other operand's bit a wire too.
+  for (int i = 0; i < 2; ++i) {
+    bool v = false;
+    if (knownOperandBit(facts, n.operands[1 - i], bit, &v) && neutral(v)) {
+      return true;
+    }
   }
+  return false;
 }
 
 bool isSignTest(const Graph& g, NodeId node) {
@@ -53,18 +76,24 @@ bool isSignTest(const Graph& g, NodeId node) {
 }
 
 bool operandRelevant(const Graph& g, ir::NodeId node,
-                     std::uint16_t operandIndex) {
+                     std::uint16_t operandIndex, const ir::BitFacts* facts) {
   const Node& n = g.node(node);
   if (!ir::isLutMappable(n.kind)) return true;  // ports always matter
+  std::uint64_t costed = ~0ull;
+  if (facts != nullptr && facts->compatibleWith(g)) {
+    costed = facts->demandedOf(g, node) & ~facts->knownMask[node];
+  }
   for (std::uint16_t j = 0; j < n.width; ++j) {
-    for (const DepBit& d : depBits(g, node, j)) {
+    if (j < 64 && ((costed >> j) & 1) == 0) continue;
+    for (const DepBit& d : depBits(g, node, j, facts)) {
       if (d.operandIndex == operandIndex) return true;
     }
   }
   return false;
 }
 
-std::vector<DepBit> depBits(const Graph& g, NodeId node, std::uint16_t bit) {
+std::vector<DepBit> depBits(const Graph& g, NodeId node, std::uint16_t bit,
+                            const ir::BitFacts* facts) {
   const Node& n = g.node(node);
   std::vector<DepBit> deps;
   const auto opIsConst = [&](std::uint16_t i) {
@@ -74,6 +103,10 @@ std::vector<DepBit> depBits(const Graph& g, NodeId node, std::uint16_t bit) {
     const Node& src = g.node(n.operands[opIdx].src);
     if (b < 0 || b >= src.width) return;  // shifted-in constant bit
     if (opIsConst(opIdx)) return;         // constants fold into the LUT
+    if (knownOperandBit(facts, n.operands[opIdx],
+                        static_cast<std::uint16_t>(b), nullptr)) {
+      return;  // analysis-known bits hard-wire into the LUT mask
+    }
     deps.push_back(DepBit{opIdx, static_cast<std::uint16_t>(b)});
   };
 
@@ -166,11 +199,20 @@ std::vector<DepBit> depBits(const Graph& g, NodeId node, std::uint16_t bit) {
       }
       break;
 
-    case OpKind::Mux:
+    case OpKind::Mux: {
+      // A known select hard-wires into the LUT mask and drops the
+      // never-taken arm entirely (matching the backward demanded pass,
+      // which sends no demand into that arm).
+      bool sel = false;
+      if (knownOperandBit(facts, n.operands[0], 0, &sel)) {
+        push(sel ? 1 : 2, bit);
+        break;
+      }
       push(0, 0);  // select
       push(1, bit);
       push(2, bit);
       break;
+    }
   }
   return deps;
 }

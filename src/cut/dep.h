@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "ir/simplify.h"
 
 namespace lamp::cut {
 
@@ -29,8 +30,16 @@ struct DepBit {
 /// Computes DEP(node[bit]). `g` is needed to inspect operand widths and
 /// recognize comparisons against constants. Const operands are omitted.
 /// Input/Output/Const/BlackBox nodes have no DEP (empty result).
+///
+/// `facts` (optional, computed on this graph) extends the Const rule to
+/// analysis-known operand bits: a bit the dataflow engine proves
+/// constant hard-wires into the LUT truth table exactly like a Const
+/// operand, so it leaves the DEP set. Loop-carried operand bits only
+/// qualify when known ZERO — the register reset (0) must agree with the
+/// proven value.
 std::vector<DepBit> depBits(const ir::Graph& g, ir::NodeId node,
-                            std::uint16_t bit);
+                            std::uint16_t bit,
+                            const ir::BitFacts* facts = nullptr);
 
 /// True when this node kind routes bits without logic (Shift class):
 /// a single-dependence output bit of such a node is a wire, not a LUT.
@@ -39,8 +48,10 @@ bool isWireClass(ir::OpKind kind);
 /// True when output bit `bit` of this node is exactly equal to its single
 /// dependence bit — i.e. the operation is neutral there (AND with a 1
 /// constant bit, OR/XOR with a 0 constant bit, a routed Shift-class bit).
-/// Such bits cost no LUT even inside Bitwise nodes.
-bool isIdentityBit(const ir::Graph& g, ir::NodeId node, std::uint16_t bit);
+/// Such bits cost no LUT even inside Bitwise nodes. `facts` extends the
+/// constant-operand rule to analysis-known neutral bits.
+bool isIdentityBit(const ir::Graph& g, ir::NodeId node, std::uint16_t bit,
+                   const ir::BitFacts* facts = nullptr);
 
 /// True if the comparison node is a recognized sign test whose result
 /// depends only on the top bit of operand 0 (e.g. signed x < 0, x >= 0).
@@ -48,9 +59,13 @@ bool isSignTest(const ir::Graph& g, ir::NodeId node);
 
 /// True when at least one output bit of `node` depends on operand
 /// `operandIndex`. Dominating constants (x & 0, x | ~0) and shifted-out
-/// ranges can make an operand entirely irrelevant to the cone.
+/// ranges can make an operand entirely irrelevant to the cone. With
+/// `facts`, only demanded output bits are consulted and known operand
+/// bits are excluded, mirroring the masked enumeration — pass the same
+/// facts the cut database was built with.
 bool operandRelevant(const ir::Graph& g, ir::NodeId node,
-                     std::uint16_t operandIndex);
+                     std::uint16_t operandIndex,
+                     const ir::BitFacts* facts = nullptr);
 
 }  // namespace lamp::cut
 

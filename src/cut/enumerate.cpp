@@ -105,6 +105,9 @@ using Choice = const Cut*;
 struct Enumerator {
   const Graph& g;
   const CutEnumOptions& opts;
+  /// Bit-level facts for masking, dropped when they do not index this
+  /// graph (rebuilt stage graphs re-enumerate without facts).
+  const ir::BitFacts* facts;
   std::vector<CutSet> cutsOf;
   std::size_t visits = 0;
   /// Merge buffer reused by every unionIntoCapped call in compose(); its
@@ -113,7 +116,11 @@ struct Enumerator {
   mutable SupportSet scratch;
 
   explicit Enumerator(const Graph& graph, const CutEnumOptions& options)
-      : g(graph), opts(options), cutsOf(graph.size()) {}
+      : g(graph), opts(options),
+        facts(options.facts != nullptr && options.facts->compatibleWith(graph)
+                  ? options.facts
+                  : nullptr),
+        cutsOf(graph.size()) {}
 
   /// Builds the candidate cut of `v` for a fixed combination of choices
   /// (one per operand). Returns false if K/element limits are violated.
@@ -135,11 +142,22 @@ struct Enumerator {
       }
     }
 
+    // Costed bits: demanded by some observer and not analysis-known.
+    // Undemanded bits need no logic at all; known bits hard-wire into
+    // the LUT mask. Skipped bits keep empty supports (never a wire), so
+    // they cost nothing and never constrain K. The backward demanded
+    // pass propagates through the same per-kind structure, so absorbed
+    // producer cuts always carry the supports consumers read.
+    std::uint64_t costed = ~0ull;
+    if (facts != nullptr) {
+      costed = facts->demandedOf(g, v) & ~facts->knownMask[v];
+    }
     for (std::uint16_t j = 0; j < n.width; ++j) {
-      const auto deps = depBits(g, v, j);
+      if (j < 64 && ((costed >> j) & 1) == 0) continue;
+      const auto deps = depBits(g, v, j, facts);
       // Routed or neutral-masked bits (shift class, AND with 1, OR/XOR
       // with 0) are wires unless an absorbed source bit adds logic.
-      bool wireBit = isIdentityBit(g, v, j) && deps.size() <= 1;
+      bool wireBit = isIdentityBit(g, v, j, facts) && deps.size() <= 1;
       for (const DepBit& d : deps) {
         const Edge& e = n.operands[d.operandIndex];
         if (choice[d.operandIndex] == nullptr) {
@@ -261,6 +279,27 @@ struct Enumerator {
         }
       }
     }
+    // Masked cost dominance (facts only): drop B when some A has a
+    // boundary no larger and a STRICTLY lower LUT cost. Without facts
+    // every Lut cut of a node prices each costed root bit at one LUT, so
+    // costs barely differ across cuts and the baseline enumeration is
+    // left untouched. Under masking, known bits hard-wire into LUT masks
+    // and give deep cones genuinely lower costs; keeping cuts beaten on
+    // both size and cost only bloats the MILP's selection space. The
+    // unit/carry fallback is always kept.
+    if (facts != nullptr) {
+      for (std::size_t a = 0; a < cuts.size(); ++a) {
+        if (dead[a]) continue;
+        for (std::size_t b = 0; b < cuts.size(); ++b) {
+          if (a == b || dead[b] || cuts[b].isUnit) continue;
+          if (cuts[a].lutCost < cuts[b].lutCost &&
+              cuts[a].elements.size() <= cuts[b].elements.size()) {
+            dead[b] = true;
+          }
+        }
+      }
+    }
+
     std::vector<Cut> kept;
     for (std::size_t i = 0; i < cuts.size(); ++i) {
       if (!dead[i]) kept.push_back(std::move(cuts[i]));

@@ -1,5 +1,7 @@
 #include "flow/flow.h"
 
+#include "analyze/dataflow.h"
+#include "ir/simplify.h"
 #include "map/area.h"
 #include "sched/greedy.h"
 #include "sched/schedule.h"
@@ -77,8 +79,10 @@ bool verifyFunctionally(const Benchmark& bm, const sched::Schedule& s,
 }
 
 FlowResult finish(const Benchmark& bm, FlowResult r,
-                  const cut::CutDatabase& db, const FlowOptions& opts) {
-  const sched::ValidationInput vin{bm.graph, db, opts.delays, bm.resources};
+                  const cut::CutDatabase& db, const FlowOptions& opts,
+                  const ir::BitFacts* facts) {
+  const sched::ValidationInput vin{bm.graph, db, opts.delays, bm.resources,
+                                   facts};
   if (const auto diag = sched::validateSchedule(vin, r.schedule)) {
     r.success = false;
     appendError(r.error, "schedule validation failed: " + *diag);
@@ -86,6 +90,9 @@ FlowResult finish(const Benchmark& bm, FlowResult r,
   }
   map::AreaOptions ao;
   ao.cuts = opts.cuts;
+  // The per-stage evaluator rebuilds graphs with fresh node ids; facts
+  // indexed by this graph's ids must not leak into those enumerations.
+  ao.cuts.facts = nullptr;
   r.area = map::evaluate(bm.graph, r.schedule, opts.delays, ao);
   r.functionallyVerified = verifyFunctionally(bm, r.schedule, db, opts);
   if (opts.verifyFrames > 0 && !r.functionallyVerified) {
@@ -97,13 +104,58 @@ FlowResult finish(const Benchmark& bm, FlowResult r,
   return r;
 }
 
+/// Rewrites NodeId-keyed frames through the simplification node map.
+sim::InputFrame remapFrame(const sim::InputFrame& f,
+                           const std::vector<ir::NodeId>& oldToNew) {
+  sim::InputFrame out;
+  for (const auto& [id, v] : f) {
+    if (id < oldToNew.size() && oldToNew[id] != ir::kNoNode) {
+      out[oldToNew[id]] = v;
+    }
+  }
+  return out;
+}
+
+/// Differential simulation of the simplified graph against the original
+/// over seeded random frames. Returns a diagnostic on any divergence.
+std::optional<std::string> simplifyDivergence(
+    const Benchmark& bm, const ir::Graph& simplified,
+    const std::vector<ir::NodeId>& oldToNew, const FlowOptions& opts) {
+  const int frames = std::max(opts.verifyFrames, 4);
+  std::vector<sim::InputFrame> in, inSimp;
+  for (int k = 0; k < frames; ++k) {
+    in.push_back(bm.makeInputs(k, opts.verifySeed));
+    inSimp.push_back(remapFrame(in.back(), oldToNew));
+  }
+  sim::Interpreter ref(bm.graph);
+  if (bm.initMemory) bm.initMemory(ref.memory());
+  const auto golden = ref.run(in);
+  sim::Interpreter simp(simplified);
+  if (bm.initMemory) bm.initMemory(simp.memory());
+  const auto got = simp.run(inSimp);
+  for (std::size_t k = 0; k < golden.size(); ++k) {
+    for (const auto& [id, v] : golden[k]) {
+      const ir::NodeId nid = oldToNew[id];
+      const auto it = nid == ir::kNoNode ? got[k].end() : got[k].find(nid);
+      if (it == got[k].end() || it->second != v) {
+        return "output " + bm.graph.node(id).name + " differs at iteration " +
+               std::to_string(k);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 namespace {
 
 /// One attempt at a fixed II; runFlow retries at larger IIs on failure.
+/// `facts` are bit-level facts of bm.graph; the mapping-aware arm
+/// enumerates its cut database under them.
 FlowResult runFlowAtIi(const Benchmark& bm, Method method,
-                       const FlowOptions& opts, int ii);
+                       const FlowOptions& opts, int ii,
+                       const ir::BitFacts* facts);
 
 }  // namespace
 
@@ -138,6 +190,38 @@ FlowResult runFlow(const Benchmark& bm, Method method,
     return r;
   }
 
+  // Bit-level dataflow on the input graph: drives the optional rewrite
+  // and the mapping-aware arm's masked cut enumeration.
+  analyze::DataflowResult dflow = analyze::analyzeDataflow(bm.graph);
+  ir::BitFacts facts = analyze::toBitFacts(dflow);
+
+  Benchmark work;                // simplified copy, when enabled
+  const Benchmark* active = &bm;
+  std::vector<ir::NodeId> simplifyMap;
+  if (opts.simplify) {
+    ir::Graph simplified = ir::simplify(bm.graph, facts, nullptr,
+                                        &simplifyMap);
+    if (const auto diag =
+            simplifyDivergence(bm, simplified, simplifyMap, opts)) {
+      FlowResult r;
+      r.method = method;
+      r.error = "simplification diverged from the original graph: " + *diag;
+      r.diagnostics = std::move(report.diagnostics);
+      return r;
+    }
+    work = bm;
+    work.graph = std::move(simplified);
+    // Input frames are NodeId-keyed; route them through the node map.
+    work.makeInputs = [base = bm.makeInputs, map = simplifyMap](
+                          std::uint64_t it, std::uint32_t seed) {
+      return remapFrame(base(it, seed), map);
+    };
+    active = &work;
+    // Facts must index the graph actually enumerated and scheduled.
+    dflow = analyze::analyzeDataflow(work.graph);
+    facts = analyze::toBitFacts(dflow);
+  }
+
   // Production schedulers bump the II when the recurrence, resources, or
   // (for the additive model) recurrence *chaining* cannot meet it. The
   // mapping-aware arm frequently sustains a smaller II than the additive
@@ -145,26 +229,42 @@ FlowResult runFlow(const Benchmark& bm, Method method,
   // smallest feasible II.
   FlowResult last;
   for (int ii = opts.ii; ii <= opts.ii + 8; ++ii) {
-    last = runFlowAtIi(bm, method, opts, ii);
+    last = runFlowAtIi(*active, method, opts, ii, &facts);
     if (last.success) break;
     if (last.status == lp::SolveStatus::NoSolution) break;  // cap hit
   }
   last.diagnostics = std::move(report.diagnostics);
+  if (opts.simplify) {
+    last.simplifiedGraph = active->graph;
+    last.simplifyMap = std::move(simplifyMap);
+  }
+  if (opts.emitAnalysis) last.analysis = std::move(dflow.bits);
   return last;
 }
 
 namespace {
 
 FlowResult runFlowAtIi(const Benchmark& bm, Method method,
-                       const FlowOptions& opts, int ii) {
+                       const FlowOptions& opts, int ii,
+                       const ir::BitFacts* facts) {
   FlowResult result;
   result.method = method;
 
+  // Only the mapping-aware enumeration consumes the bit-level facts;
+  // the additive arms keep the paper's unit-cut model untouched. Any
+  // caller-supplied facts pointer is ignored — it cannot be trusted to
+  // index this (possibly rewritten) graph.
+  cut::CutEnumOptions baseCuts = opts.cuts;
+  baseCuts.facts = nullptr;
+  cut::CutEnumOptions mapCuts = baseCuts;
+  mapCuts.facts = facts;
+  const ir::BitFacts* dbFacts = method == Method::MilpMap ? facts : nullptr;
+
   const cut::CutDatabase db =
-      method == Method::MilpMap ? cut::enumerateCuts(bm.graph, opts.cuts)
-                                : cut::trivialCuts(bm.graph, opts.cuts);
+      method == Method::MilpMap ? cut::enumerateCuts(bm.graph, mapCuts)
+                                : cut::trivialCuts(bm.graph, baseCuts);
   const cut::CutDatabase trivial =
-      method == Method::MilpMap ? cut::trivialCuts(bm.graph, opts.cuts) : db;
+      method == Method::MilpMap ? cut::trivialCuts(bm.graph, baseCuts) : db;
   result.numCuts = db.totalCuts;
 
   // The SDC baseline also provides the latency bound and warm start for
@@ -182,8 +282,9 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
     // mapping-aware schedule for the latency bound and warm start.
     sdc = sched::greedyMapSchedule(bm.graph, db, opts.delays, sdcOpts);
     if (sdc.success &&
-        sched::validateSchedule({bm.graph, db, opts.delays, bm.resources},
-                                sdc.schedule) != std::nullopt) {
+        sched::validateSchedule(
+            {bm.graph, db, opts.delays, bm.resources, dbFacts},
+            sdc.schedule) != std::nullopt) {
       sdc.success = false;
     }
     baselineIsGreedy = sdc.success;
@@ -197,7 +298,7 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
     result.schedule = sdc.schedule;
     result.status = lp::SolveStatus::Optimal;
     result.success = true;
-    return finish(bm, std::move(result), db, opts);
+    return finish(bm, std::move(result), db, opts, dbFacts);
   }
 
   sched::MilpSchedOptions mo;
@@ -233,8 +334,9 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
     go.maxLatency = mo.maxLatency;
     greedy = sched::greedyMapSchedule(bm.graph, db, opts.delays, go);
     if (greedy.success &&
-        sched::validateSchedule({bm.graph, db, opts.delays, bm.resources},
-                                greedy.schedule) == std::nullopt &&
+        sched::validateSchedule(
+            {bm.graph, db, opts.delays, bm.resources, dbFacts},
+            greedy.schedule) == std::nullopt &&
         scheduleCost(greedy.schedule, db) <
             scheduleCost(sdc.schedule, baselineIsGreedy ? db : trivial)) {
       mo.warmStart = &greedy.schedule;
@@ -251,8 +353,9 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
     if (hint.ii == mo.ii && hint.cycle.size() == bm.graph.size() &&
         hint.selectedCut.size() == bm.graph.size() &&
         hint.latency(bm.graph) <= mo.maxLatency &&
-        sched::validateSchedule({bm.graph, db, opts.delays, bm.resources},
-                                hint) == std::nullopt &&
+        sched::validateSchedule(
+            {bm.graph, db, opts.delays, bm.resources, dbFacts},
+            hint) == std::nullopt &&
         scheduleCost(hint, db) <
             scheduleCost(*mo.warmStart,
                          mo.warmStartSelectsCuts ? db : trivial)) {
@@ -294,14 +397,14 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
       }
       result.success = true;
       result.error = milp.error;  // kept as a diagnostic
-      return finish(bm, std::move(result), db, opts);
+      return finish(bm, std::move(result), db, opts, dbFacts);
     }
     result.error = milp.error;
     return result;
   }
   result.schedule = milp.schedule;
   result.success = true;
-  return finish(bm, std::move(result), db, opts);
+  return finish(bm, std::move(result), db, opts, dbFacts);
 }
 
 }  // namespace

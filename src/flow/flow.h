@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analyze/analyze.h"
+#include "analyze/dataflow.h"
 #include "map/area.h"
 #include "sched/milp_sched.h"
 #include "sched/sdc.h"
@@ -65,6 +66,17 @@ struct FlowOptions {
   /// chosen method enumerates (deterministic, so indices from an earlier
   /// identical enumeration stay valid). Must outlive the runFlow call.
   const sched::Schedule* warmStartHint = nullptr;
+  /// Rewrite the graph with analysis-proven simplifications before
+  /// scheduling (constant cones folded, identity ops forwarded,
+  /// provably-narrow arithmetic narrowed). The rewrite is checked
+  /// against the original by differential simulation; a divergence
+  /// fails the flow instead of scheduling a wrong graph. The result's
+  /// schedule then indexes FlowResult::simplifiedGraph, not the input
+  /// benchmark's graph.
+  bool simplify = false;
+  /// Attach the per-node bit-level dataflow summary (known bits, range,
+  /// demanded bits) of the scheduled graph to FlowResult::analysis.
+  bool emitAnalysis = false;
 };
 
 struct FlowResult {
@@ -96,6 +108,24 @@ struct FlowResult {
   /// analysis proves the request infeasible, `success` is false, `error`
   /// summarizes the Error findings, and the solver never ran.
   std::vector<analyze::Diagnostic> diagnostics;
+
+  /// Per-node dataflow summary of the scheduled graph
+  /// (FlowOptions::emitAnalysis; empty otherwise).
+  std::vector<analyze::NodeBits> analysis;
+
+  /// When FlowOptions::simplify rewrote the graph, the rewritten graph
+  /// that `schedule` and `area` index (empty when simplification was
+  /// off), and the original-to-rewritten node map (ir::kNoNode for
+  /// nodes folded away). The rewrite is deterministic, so re-running
+  /// ir::simplify over the same input reproduces it.
+  ir::Graph simplifiedGraph;
+  std::vector<ir::NodeId> simplifyMap;
+
+  /// The graph `schedule` refers to: `original` unless simplification
+  /// rewrote it. Pass the benchmark graph the flow ran on.
+  const ir::Graph& scheduleGraph(const ir::Graph& original) const {
+    return simplifiedGraph.size() > 0 ? simplifiedGraph : original;
+  }
 };
 
 /// The analysis configuration runFlow() gates on, exposed so other

@@ -107,6 +107,18 @@ Json resultToJson(const FlowResult& r) {
   solver.set("numCuts", Json::integer(static_cast<std::int64_t>(r.numCuts)));
   j.set("solver", std::move(solver));
   j.set("diagnostics", analyze::diagnosticsToJson(r.diagnostics));
+  // Optional fields: absent unless the corresponding flow option ran.
+  if (!r.analysis.empty()) {
+    j.set("analysis", analyze::dataflowToJson(r.analysis));
+  }
+  if (!r.simplifyMap.empty()) {
+    Json m = Json::array();
+    for (const ir::NodeId id : r.simplifyMap) {
+      m.push(Json::integer(id == ir::kNoNode ? -1
+                                             : static_cast<std::int64_t>(id)));
+    }
+    j.set("simplifyMap", std::move(m));
+  }
   return j;
 }
 
@@ -191,6 +203,22 @@ bool resultFromJson(const Json& j, FlowResult& out, std::string* error) {
       return false;
     }
   }
+  if (const Json* an = j.find("analysis")) {
+    if (!analyze::dataflowFromJson(*an, out.analysis, error)) return false;
+  }
+  if (const Json* sm = j.find("simplifyMap")) {
+    if (!sm->isArray()) return fail("simplifyMap is not an array");
+    out.simplifyMap.clear();
+    out.simplifyMap.reserve(sm->size());
+    for (std::size_t i = 0; i < sm->size(); ++i) {
+      if (!sm->at(i).isNumber()) return fail("bad simplifyMap entry");
+      const std::int64_t id = sm->at(i).asInt();
+      out.simplifyMap.push_back(id < 0 ? ir::kNoNode
+                                       : static_cast<ir::NodeId>(id));
+    }
+    // The rewritten graph itself is not serialized: ir::simplify is
+    // deterministic, so holders of the input graph can reproduce it.
+  }
   return true;
 }
 
@@ -206,6 +234,8 @@ Json optionsToJson(const FlowOptions& o) {
   j.set("verifyFrames", Json::integer(o.verifyFrames));
   j.set("verifySeed", Json::integer(o.verifySeed));
   j.set("solverThreads", Json::integer(o.solverThreads));
+  j.set("simplify", Json::integer(o.simplify ? 1 : 0));
+  j.set("emitAnalysis", Json::integer(o.emitAnalysis ? 1 : 0));
   return j;
 }
 
@@ -238,6 +268,10 @@ bool optionsFromJson(const Json& j, FlowOptions& out, std::string* error) {
       out.verifySeed = static_cast<std::uint32_t>(value.asInt());
     } else if (key == "solverThreads") {
       out.solverThreads = static_cast<int>(value.asInt());
+    } else if (key == "simplify") {
+      out.simplify = value.asInt() != 0;
+    } else if (key == "emitAnalysis") {
+      out.emitAnalysis = value.asInt() != 0;
     } else {
       return fail("unknown option '" + key + "'");
     }
@@ -249,7 +283,10 @@ bool optionsFromJson(const Json& j, FlowOptions& out, std::string* error) {
 }
 
 std::string hardOptionKey(Method m, const FlowOptions& o) {
-  std::string key = "v1;m=";
+  // v2: simplify/emitAnalysis joined the key — a schedule solved over
+  // the rewritten graph must never warm-start (or answer) a request for
+  // the original one, and vice versa.
+  std::string key = "v2;m=";
   key += methodToken(m);
   key += ";ii=" + std::to_string(o.ii);
   key += ";a=" + numKey(o.alpha);
@@ -258,6 +295,8 @@ std::string hardOptionKey(Method m, const FlowOptions& o) {
   key += ";lm=" + std::to_string(o.latencyMargin);
   key += ";vf=" + std::to_string(o.verifyFrames);
   key += ";vs=" + std::to_string(o.verifySeed);
+  key += ";sp=" + std::to_string(o.simplify ? 1 : 0);
+  key += ";ea=" + std::to_string(o.emitAnalysis ? 1 : 0);
   return key;
 }
 

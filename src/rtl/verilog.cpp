@@ -49,6 +49,11 @@ struct Emitter {
   std::string ref(NodeId u, int useCycle) const {
     const Node& n = g.node(u);
     if (n.kind == OpKind::Const) {
+      // Constants inline even on loop-carried (dist > 0) edges. The
+      // simulators model a 0 reset during pipeline fill; the RTL leaves
+      // fill cycles undefined (the _d chains below are unreset too) and
+      // relies on the valid chain to gate them, so inlining is within
+      // the same startup convention.
       std::ostringstream c;
       c << n.width << "'d" << n.constValue;
       return c.str();

@@ -114,6 +114,60 @@ std::optional<std::string> validateSchedule(const ValidationInput& in,
       }
     }
     if (c.kind != cut::CutKind::Lut) continue;
+    // With bit-level facts the enumerator builds the cone for the root's
+    // costed bits only (demanded and not analysis-known); an absorbed
+    // node's operand is required in cone/boundary only when one of those
+    // bits transitively reads it. Propagate the needed-bit masks backward
+    // through the cone — coneNodes ids are topological (append-only
+    // graph), so one descending sweep suffices.
+    const bool masked = in.facts != nullptr && in.facts->compatibleWith(g);
+    std::vector<std::uint64_t> need;
+    std::vector<NodeId> order = c.coneNodes;
+    if (masked) {
+      need.assign(c.coneNodes.size(), 0);
+      std::sort(order.begin(), order.end(), std::greater<NodeId>());
+      const auto slotOf = [&](NodeId u) -> std::uint64_t* {
+        const auto it =
+            std::lower_bound(c.coneNodes.begin(), c.coneNodes.end(), u);
+        if (it == c.coneNodes.end() || *it != u) return nullptr;
+        return &need[static_cast<std::size_t>(it - c.coneNodes.begin())];
+      };
+      *slotOf(v) = in.facts->demandedOf(g, v) & ~in.facts->knownMask[v];
+      for (const NodeId x : order) {
+        const std::uint64_t bits = *slotOf(x);
+        const Node& xn = g.node(x);
+        if (bits == 0 && xn.width <= 64) continue;
+        for (std::uint16_t j = 0; j < xn.width; ++j) {
+          if (j < 64 && ((bits >> j) & 1) == 0) continue;
+          for (const cut::DepBit& d : cut::depBits(g, x, j, in.facts)) {
+            const Edge& e = xn.operands[d.operandIndex];
+            if (e.dist != 0) continue;
+            // Boundary wins over cone membership: a read of an element
+            // uses the LUT input (the element is rooted by check (a)),
+            // not in-cone logic, so it creates no deeper obligations.
+            if (c.containsElement(e.src, e.dist)) continue;
+            if (std::uint64_t* slot = slotOf(e.src)) {
+              *slot |= d.bit < 64 ? (1ull << d.bit) : 0;
+            }
+          }
+        }
+      }
+    }
+    const auto operandNeeded = [&](NodeId x, std::uint16_t oi) {
+      if (!masked) return cut::operandRelevant(g, x, oi, in.facts);
+      const auto it =
+          std::lower_bound(c.coneNodes.begin(), c.coneNodes.end(), x);
+      const std::uint64_t bits =
+          need[static_cast<std::size_t>(it - c.coneNodes.begin())];
+      const Node& xn = g.node(x);
+      for (std::uint16_t j = 0; j < xn.width; ++j) {
+        if (j < 64 && ((bits >> j) & 1) == 0) continue;
+        for (const cut::DepBit& d : cut::depBits(g, x, j, in.facts)) {
+          if (d.operandIndex == oi) return true;
+        }
+      }
+      return false;
+    };
     for (const NodeId x : c.coneNodes) {
       if (s.cycle[x] > s.cycle[v]) {
         return nodeDesc(g, v) + ": cone node " + nodeDesc(g, x) +
@@ -129,8 +183,7 @@ std::optional<std::string> validateSchedule(const ValidationInput& in,
         const bool isConst = g.node(e.src).kind == OpKind::Const;
         // Operands with no bit-level dependence (dominated by constants,
         // shifted out) don't have to appear in the cone at all.
-        if (!inCone && !isBoundary && !isConst &&
-            cut::operandRelevant(g, x, oi)) {
+        if (!inCone && !isBoundary && !isConst && operandNeeded(x, oi)) {
           return nodeDesc(g, v) + ": cone not closed at " + nodeDesc(g, e.src);
         }
       }

@@ -54,6 +54,10 @@ struct ValidationInput {
   const cut::CutDatabase& cuts;
   const DelayModel& delays;
   ResourceLimits resources;
+  /// Bit-level facts the cut database was enumerated with (nullptr for
+  /// unmasked databases). The cone-closure check must see the same
+  /// masks, or it would demand operands the masked cones never read.
+  const ir::BitFacts* facts = nullptr;
 };
 
 /// Checks all constraints of Section 3.2 against a schedule:

@@ -85,7 +85,13 @@ PipelineRunResult runPipeline(const Graph& g, const Schedule& s,
         for (const Edge& e : n.operands) {
           const Node& u = g.node(e.src);
           if (u.kind == OpKind::Const) {
-            ops.push_back(maskTo(u.constValue, u.width));
+            // Reset applies at the edge, Const producers included: a
+            // loop-carried read sees 0 until iteration e.dist (matches
+            // sim::Interpreter; folding can rewire dist > 0 edges to
+            // constants).
+            ops.push_back(k < static_cast<int>(e.dist)
+                              ? 0
+                              : maskTo(u.constValue, u.width));
             continue;
           }
           const int prodIter = k - static_cast<int>(e.dist);

@@ -105,7 +105,12 @@ bool writeVcd(std::ostream& os, const Graph& g, const Schedule& s,
         for (const Edge& e : n.operands) {
           const Node& u = g.node(e.src);
           if (u.kind == OpKind::Const) {
-            ops.push_back(maskTo(u.constValue, u.width));
+            // Loop-carried reads reset to 0 even from Const producers
+            // (edge semantics, matching sim::Interpreter).
+            ops.push_back(static_cast<std::int64_t>(k) <
+                                  static_cast<std::int64_t>(e.dist)
+                              ? 0
+                              : maskTo(u.constValue, u.width));
             continue;
           }
           const std::int64_t prodIter =

@@ -12,7 +12,14 @@
 ///    "method": "hls" | "base" | "map",           // default "map"
 ///    "options": {"ii":1, "tcpNs":10, "alpha":0.5, "beta":0.5, "k":4,
 ///                "timeLimitSeconds":20, "latencyMargin":1,
-///                "verifyFrames":8, "verifySeed":1, "solverThreads":1},
+///                "verifyFrames":8, "verifySeed":1, "solverThreads":1,
+///                "simplify":0, "emitAnalysis":0},
+///                // simplify: rewrite the graph from bit-level dataflow
+///                // facts before scheduling (the result then carries
+///                // "simplifyMap"); emitAnalysis: attach the per-node
+///                // known-bits/range/demanded report as "analysis".
+///                // Both are 0/1 integers and are part of the solution
+///                // cache key, so cached replays are bit-identical.
 ///    "deadlineMs": 5000,      // optional total budget (queue + solve)
 ///    "paperScale": true,      // optional, benchmark-name requests only
 ///    "noCache": true}         // optional, bypass the solution cache

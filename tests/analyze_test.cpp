@@ -50,9 +50,15 @@ TEST(AnalyzeTest, AllNineBenchmarksAnalyzeCleanAtTableOneTargets) {
           analyzeGraph(bm.graph, flow::analysisOptions(bm, m, opts));
       EXPECT_FALSE(report.hasErrors()) << bm.name << ": "
                                        << summarizeErrors(report);
-      EXPECT_TRUE(report.diagnostics.empty())
-          << bm.name << " has unexpected findings: "
-          << renderReport(bm.graph, report);
+      // "Clean" matches lamp-lint's exit-0 contract: no Errors and no
+      // Warnings. Info-severity advisories are allowed — e.g. DR's
+      // output port legitimately carries provably-zero top bits
+      // (LAMP010), which is a tuning hint, not a defect.
+      for (const Diagnostic& d : report.diagnostics) {
+        EXPECT_LT(d.severity, Severity::Warning)
+            << bm.name << " has unexpected findings: "
+            << renderReport(bm.graph, report);
+      }
       EXPECT_EQ(report.recMii, 1) << bm.name;
     }
   }
@@ -315,6 +321,92 @@ TEST(AnalyzeTest, MissingSinksWarn) {
 
 // ---------------------------------------------------------------------------
 // Registry and serialization plumbing
+
+// ---------------------------------------------------------------------------
+// LAMP010-013: seeded positive tests for the bit-level dataflow findings.
+
+TEST(AnalyzeTest, DeadOutputBitsAreFlagged) {
+  GraphBuilder b("dead_bits");
+  Value a = b.input("a", 4);
+  const ir::NodeId out = b.output(b.zext(a, 8), "o");  // top 4 never rise
+  const AnalysisReport r = analyzeGraph(b.graph(), AnalysisOptions{});
+  const auto found = withCode(r, kCodeDeadOutputBits);
+  ASSERT_EQ(found.size(), 1u) << renderReport(b.graph(), r);
+  EXPECT_EQ(found[0]->severity, Severity::Info);
+  EXPECT_TRUE(hasNode(*found[0], out));
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(AnalyzeTest, OverflowTruncationIsFlagged) {
+  GraphBuilder b("trunc");
+  Value a = b.input("a", 8);
+  Value set = b.bor(a, b.constant(0x80, 8));  // bit 7 provably 1
+  Value low = b.slice(set, 0, 4);             // drops the known-set bit
+  b.output(low, "o");
+  const ir::NodeId sliceId = low.id;
+  const AnalysisReport r = analyzeGraph(b.graph(), AnalysisOptions{});
+  const auto found = withCode(r, kCodeOverflowTruncation);
+  ASSERT_EQ(found.size(), 1u) << renderReport(b.graph(), r);
+  EXPECT_EQ(found[0]->severity, Severity::Warning);
+  EXPECT_TRUE(hasNode(*found[0], sliceId));
+}
+
+TEST(AnalyzeTest, ConstantCompareIsFlagged) {
+  GraphBuilder b("cmp");
+  Value a = b.input("a", 4);
+  // zext(a) <= 15 < 64: the ranges prove the comparison before any input.
+  Value always = b.lt(b.zext(a, 8), b.constant(0x40, 8), false, "always");
+  b.output(always, "o");
+  const AnalysisReport r = analyzeGraph(b.graph(), AnalysisOptions{});
+  const auto found = withCode(r, kCodeConstantCompare);
+  ASSERT_EQ(found.size(), 1u) << renderReport(b.graph(), r);
+  EXPECT_EQ(found[0]->severity, Severity::Warning);
+  EXPECT_TRUE(hasNode(*found[0], always.id));
+  EXPECT_NE(found[0]->message.find("always-true"), std::string::npos);
+}
+
+TEST(AnalyzeTest, DeadMuxArmIsFlagged) {
+  GraphBuilder b("mux_arm");
+  Value a = b.input("a", 8);
+  Value t = b.input("t", 8);
+  Value f = b.input("f", 8);
+  Value sel = b.bit(b.bor(a, b.constant(1, 8)), 0);  // provably 1
+  Value m = b.mux(sel, t, f);
+  b.output(m, "o");
+  const AnalysisReport r = analyzeGraph(b.graph(), AnalysisOptions{});
+  const auto found = withCode(r, kCodeDeadMuxArm);
+  ASSERT_EQ(found.size(), 1u) << renderReport(b.graph(), r);
+  EXPECT_EQ(found[0]->severity, Severity::Warning);
+  EXPECT_TRUE(hasNode(*found[0], m.id));
+}
+
+// The --emit-analysis flow surface: per-node facts ride on FlowResult and
+// survive the JSON wire format losslessly.
+TEST(AnalyzeTest, FlowEmitAnalysisRoundTrips) {
+  GraphBuilder b("emit");
+  Value a = b.input("a", 8);
+  Value m = b.band(a, b.constant(0x0F, 8));
+  b.output(m, "o");
+  const workloads::Benchmark bm =
+      workloads::benchmarkFromGraph(b.take(), "emit test");
+
+  flow::FlowOptions opts;
+  opts.emitAnalysis = true;
+  opts.simplify = true;
+  opts.solverTimeLimitSeconds = 5.0;
+  const flow::FlowResult r = flow::runFlow(bm, flow::Method::MilpMap, opts);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_FALSE(r.analysis.empty());
+  EXPECT_FALSE(r.simplifyMap.empty());
+
+  flow::FlowResult back;
+  std::string error;
+  ASSERT_TRUE(flow::resultFromJson(flow::resultToJson(r), back, &error))
+      << error;
+  EXPECT_EQ(back.analysis, r.analysis);
+  EXPECT_EQ(back.simplifyMap, r.simplifyMap);
+  EXPECT_EQ(flow::resultToJson(back).dump(), flow::resultToJson(r).dump());
+}
 
 TEST(AnalyzeTest, PassRegistryCoversEveryDiagnosticCode) {
   std::string allCodes;

@@ -1,0 +1,257 @@
+// Tests for the bit-level dataflow framework: transfer functions of the
+// forward known-bits and range lattices, the backward demanded-bits
+// pass, fixpoint termination on cyclic (loop-carried) graphs, and the
+// lossless JSON round-trip used by --emit-analysis.
+
+#include <gtest/gtest.h>
+
+#include "analyze/dataflow.h"
+#include "ir/builder.h"
+
+namespace lamp::analyze {
+namespace {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+DataflowResult run(const GraphBuilder& b) {
+  return analyzeDataflow(b.graph());
+}
+
+TEST(DataflowTest, ConstantIsFullyKnown) {
+  GraphBuilder b("t");
+  Value c = b.constant(0xA5, 8);
+  b.output(c, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[c.id].knownMask, 0xFFu);
+  EXPECT_EQ(r.bits[c.id].knownVal, 0xA5u);
+  EXPECT_EQ(r.bits[c.id].lo, 0xA5u);
+  EXPECT_EQ(r.bits[c.id].hi, 0xA5u);
+}
+
+TEST(DataflowTest, AndWithConstantMaskKnowsZeros) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.band(a, b.constant(0x0F, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  // High nibble is known 0; low nibble unknown.
+  EXPECT_EQ(r.bits[m.id].knownMask & 0xF0u, 0xF0u);
+  EXPECT_EQ(r.bits[m.id].knownVal & 0xF0u, 0u);
+  EXPECT_EQ(r.bits[m.id].knownMask & 0x0Fu, 0u);
+  EXPECT_LE(r.bits[m.id].hi, 0x0Fu);
+}
+
+TEST(DataflowTest, OrWithOnesKnowsOnes) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.bor(a, b.constant(0xC0, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[m.id].knownMask & 0xC0u, 0xC0u);
+  EXPECT_EQ(r.bits[m.id].knownVal & 0xC0u, 0xC0u);
+  EXPECT_GE(r.bits[m.id].lo, 0xC0u);
+}
+
+TEST(DataflowTest, ShlKnowsLowZeros) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value s = b.shl(a, 3);
+  b.output(s, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[s.id].knownMask & 0x07u, 0x07u);
+  EXPECT_EQ(r.bits[s.id].knownVal & 0x07u, 0u);
+}
+
+TEST(DataflowTest, ZextKnowsHighZerosAndBoundsRange) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 4);
+  Value z = b.zext(a, 16);
+  b.output(z, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[z.id].knownMask & 0xFFF0u, 0xFFF0u);
+  EXPECT_EQ(r.bits[z.id].knownVal & 0xFFF0u, 0u);
+  EXPECT_LE(r.bits[z.id].hi, 0xFu);
+}
+
+TEST(DataflowTest, AddRangePropagates) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 4);
+  Value s = b.add(b.zext(a, 8), b.constant(3, 8));
+  b.output(s, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[s.id].lo, 3u);
+  EXPECT_EQ(r.bits[s.id].hi, 0xFu + 3u);
+}
+
+TEST(DataflowTest, MuxWithKnownSelectCopiesChosenArm) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.mux(b.constant(1, 1), b.constant(0x55, 8), a);
+  b.output(m, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[m.id].knownMask, 0xFFu);
+  EXPECT_EQ(r.bits[m.id].knownVal, 0x55u);
+}
+
+TEST(DataflowTest, MuxJoinKeepsAgreeingBits) {
+  GraphBuilder b("t");
+  Value s = b.input("s", 1);
+  // 0x1B and 0x00 agree on bits 2,5,6,7 (both 0 there).
+  Value m = b.mux(s, b.constant(0x1B, 8), b.constant(0x00, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[m.id].knownMask, 0xE4u);
+  EXPECT_EQ(r.bits[m.id].knownVal, 0u);
+}
+
+TEST(DataflowTest, DemandedSeedsAtOutputs) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  b.output(a, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[a.id].demanded, 0xFFu);
+}
+
+TEST(DataflowTest, SliceNarrowsDemand) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value s = b.slice(a, 2, 3);  // bits 2..4
+  b.output(s, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[a.id].demanded, 0x1Cu);
+}
+
+TEST(DataflowTest, KnownZeroAndMaskKillsDemand) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.band(a, b.constant(0x0F, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  // The AND's high nibble is known 0, so a's high bits are undemanded.
+  EXPECT_EQ(r.bits[a.id].demanded, 0x0Fu);
+}
+
+TEST(DataflowTest, DemandPropagatesThroughAddPrefix) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value s = b.add(a, c);
+  Value lo = b.slice(s, 0, 4);
+  b.output(lo, "o");
+  const auto r = run(b);
+  // Only the low 4 sum bits are observed; carries never flow downward.
+  EXPECT_EQ(r.bits[a.id].demanded, 0x0Fu);
+  EXPECT_EQ(r.bits[c.id].demanded, 0x0Fu);
+}
+
+TEST(DataflowTest, LiveKeepsKnownBitsDemandStrips) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.band(a, b.constant(0x0F, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  // The output reads all eight And bits: the known-zero top nibble is
+  // stripped from demand (no logic computes it) but stays live (a
+  // substitute value would have to reproduce it).
+  EXPECT_EQ(r.bits[m.id].demanded, 0x0Fu);
+  EXPECT_EQ(r.bits[m.id].live, 0xFFu);
+  // Through the And, a's top bits are dead either way: the Const mask
+  // is immutable, so the known-0 dominance refinement applies to
+  // liveness too.
+  EXPECT_EQ(r.bits[a.id].live, 0x0Fu);
+}
+
+TEST(DataflowTest, LiveIsASupersetOfDemanded) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value c = b.input("c", 8);
+  Value s = b.add(b.band(a, b.constant(0x3F, 8)), c);
+  b.output(b.slice(s, 0, 6), "o");
+  b.output(b.bor(s, b.constant(0x80, 8)), "p");
+  const auto r = run(b);
+  for (const NodeBits& nb : r.bits) {
+    EXPECT_EQ(nb.live & nb.demanded, nb.demanded);
+  }
+}
+
+TEST(DataflowTest, DeadNodeHasNoDemand) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value dead = b.bxor(a, b.constant(0x7, 8));
+  (void)dead;
+  b.output(a, "o");
+  const auto r = run(b);
+  EXPECT_EQ(r.bits[dead.id].demanded, 0u);
+  EXPECT_NE(r.bits[a.id].demanded, 0u);
+}
+
+TEST(DataflowTest, CyclicRecurrenceTerminates) {
+  // acc = (acc + 1) & 0x3F, loop-carried: the range lattice must widen
+  // instead of stepping once per representable value, and the fixpoint
+  // must converge within the visit budget.
+  GraphBuilder b("t");
+  Value x = b.input("x", 8);
+  Value acc = b.placeholder(8, "acc");
+  Value next = b.band(b.add(acc.prev(1), b.constant(1, 8)),
+                      b.constant(0x3F, 8));
+  b.bindPlaceholder(acc, next);
+  b.output(b.bxor(acc, x), "o");
+  DataflowOptions opts;
+  opts.maxVisits = 10000;
+  const auto r = analyzeDataflow(b.graph(), opts);
+  EXPECT_TRUE(r.converged);
+  // The AND mask keeps the top two bits known 0 through the cycle.
+  EXPECT_EQ(r.bits[next.id].knownMask & 0xC0u, 0xC0u);
+  EXPECT_LE(r.bits[next.id].hi, 0x3Fu);
+}
+
+TEST(DataflowTest, LoopCarriedJoinIncludesResetValue) {
+  // mux select is loop-carried from a constant 1: iteration 0 reads the
+  // register reset (0), so the select is NOT known 1 and both arms stay
+  // feasible.
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value cte = b.constant(1, 1);
+  Value m = b.mux(Value{cte.id, 1}, b.constant(0x55, 8), a);
+  b.output(m, "o");
+  const auto r = run(b);
+  EXPECT_NE(r.bits[m.id].knownMask, 0xFFu);
+  EXPECT_NE(r.bits[a.id].demanded, 0u);
+}
+
+TEST(DataflowTest, JsonRoundTripIsLossless) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 16);
+  Value acc = b.placeholder(16, "acc");
+  Value next = b.bxor(b.band(a, b.constant(0xF0F0, 16)), acc.prev(1));
+  b.bindPlaceholder(acc, next);
+  b.output(next, "o");
+  const auto r = run(b);
+  const util::Json j = dataflowToJson(r.bits);
+  std::vector<NodeBits> back;
+  std::string err;
+  ASSERT_TRUE(dataflowFromJson(j, back, &err)) << err;
+  ASSERT_EQ(back.size(), r.bits.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], r.bits[i]) << "node " << i;
+  }
+}
+
+TEST(DataflowTest, ToBitFactsMatchesResult) {
+  GraphBuilder b("t");
+  Value a = b.input("a", 8);
+  Value m = b.band(a, b.constant(0x0F, 8));
+  b.output(m, "o");
+  const auto r = run(b);
+  const ir::BitFacts f = toBitFacts(r);
+  ASSERT_TRUE(f.compatibleWith(b.graph()));
+  for (std::size_t i = 0; i < r.bits.size(); ++i) {
+    EXPECT_EQ(f.knownMask[i], r.bits[i].knownMask);
+    EXPECT_EQ(f.knownVal[i], r.bits[i].knownVal);
+    EXPECT_EQ(f.demanded[i], r.bits[i].demanded);
+  }
+}
+
+}  // namespace
+}  // namespace lamp::analyze

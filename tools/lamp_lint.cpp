@@ -16,11 +16,16 @@
 //                    cones downgrade from Error to Warning)
 //   --paper-scale    use paper-sized benchmark instances
 //   --json           machine-readable report on stdout
+//   --Werror         treat Warning findings as Errors (exit 1)
 //
 // Runs every pass in analyze::passRegistry() and prints the findings.
-// Exit code: 0 when no Error-severity diagnostics, 1 otherwise,
-// 2 on usage errors. The same engine gates flow::runFlow and lampd
-// admission, so a clean lint means the solver will actually be tried.
+// Exit codes (CI-friendly, like compilers):
+//   0  clean — no Errors and no Warnings (Infos allowed)
+//   1  at least one Error-severity finding (or any Warning with --Werror)
+//   2  Warnings only, no Errors
+//   3  usage / input errors
+// The same engine gates flow::runFlow and lampd admission, so a clean
+// lint means the solver will actually be tried.
 
 #include <fstream>
 #include <iostream>
@@ -44,6 +49,7 @@ struct Args {
   bool mappingAware = true;
   bool paperScale = false;
   bool json = false;
+  bool werror = false;
 };
 
 bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
@@ -67,6 +73,8 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.paperScale = true;
     } else if (s == "--json") {
       a.json = true;
+    } else if (s == "--Werror") {
+      a.werror = true;
     } else if (s.rfind("--", 0) == 0) {
       err = "unknown option " + s;
       return false;
@@ -115,12 +123,12 @@ int main(int argc, char** argv) {
   std::string err;
   if (!parseArgs(argc, argv, a, err)) {
     std::cerr << "lamp-lint: " << err << "\n";
-    return 2;
+    return 3;
   }
   const auto bm = loadInput(a, err);
   if (!bm) {
     std::cerr << "lamp-lint: " << err << "\n";
-    return 2;
+    return 3;
   }
 
   analyze::AnalysisOptions ao;
@@ -138,5 +146,7 @@ int main(int argc, char** argv) {
   } else {
     std::cout << analyze::renderReport(bm->graph, report);
   }
-  return report.hasErrors() ? 1 : 0;
+  const std::size_t warnings = report.count(analyze::Severity::Warning);
+  if (report.hasErrors() || (a.werror && warnings > 0)) return 1;
+  return warnings > 0 ? 2 : 0;
 }

@@ -24,6 +24,14 @@
 //   --emit-schedule        print the per-node schedule
 //   --export=FILE          write the (possibly folded) graph as .lamp text
 //   --fold                 run constant folding before scheduling
+//   --simplify             rewrite the graph with bit-level-analysis-proven
+//                          simplifications before scheduling (the flow
+//                          checks the rewrite by differential simulation;
+//                          downstream emitters then describe the
+//                          rewritten graph)
+//   --emit-analysis[=FILE] print the per-node dataflow summary (known
+//                          bits, range, demanded/live masks) as JSON;
+//                          also attaches it to --emit-json output
 //   --paper-scale          use paper-sized benchmark instances
 //   --quiet                suppress the summary report
 //   --analyze              run the pre-solve static analysis only (no
@@ -63,9 +71,11 @@ struct Args {
   int threads = 0;  // auto
   std::string formulation = "compact";
   std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd, emitJson;
+  std::optional<std::string> emitAnalysis;
   std::optional<std::string> exportGraph;
   bool emitSchedule = false;
   bool fold = false;
+  bool simplify = false;
   bool paperScale = false;
   bool quiet = false;
   bool analyze = false;
@@ -107,10 +117,14 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.emitVcd = valueOf(s);
     } else if (s == "--emit-json" || s.rfind("--emit-json=", 0) == 0) {
       a.emitJson = valueOf(s);
+    } else if (s == "--emit-analysis" || s.rfind("--emit-analysis=", 0) == 0) {
+      a.emitAnalysis = valueOf(s);
     } else if (s == "--emit-schedule") {
       a.emitSchedule = true;
     } else if (s == "--fold") {
       a.fold = true;
+    } else if (s == "--simplify") {
+      a.simplify = true;
     } else if (s.rfind("--export=", 0) == 0) {
       a.exportGraph = valueOf(s);
     } else if (s == "--paper-scale") {
@@ -215,6 +229,8 @@ int main(int argc, char** argv) {
   opts.cuts.k = a.k;
   opts.solverTimeLimitSeconds = a.timeLimit;
   opts.solverThreads = a.threads;
+  opts.simplify = a.simplify;
+  opts.emitAnalysis = a.emitAnalysis.has_value();
 
   if (a.analyze) {
     flow::Method m = flow::Method::MilpMap;
@@ -265,6 +281,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // With --simplify the schedule indexes the rewritten graph; every
+  // graph-paired emitter below must use it, and NodeId-keyed input
+  // frames must be routed through the rewrite's node map.
+  const ir::Graph& sg = result.scheduleGraph(bm->graph);
+  const auto makeFrames = [&](std::uint64_t count) {
+    std::vector<sim::InputFrame> frames;
+    for (std::uint64_t k = 0; k < count; ++k) {
+      sim::InputFrame f = bm->makeInputs(k, 1);
+      if (!result.simplifyMap.empty()) {
+        sim::InputFrame r;
+        for (const auto& [id, v] : f) {
+          if (id < result.simplifyMap.size() &&
+              result.simplifyMap[id] != ir::kNoNode) {
+            r[result.simplifyMap[id]] = v;
+          }
+        }
+        f = std::move(r);
+      }
+      frames.push_back(std::move(f));
+    }
+    return frames;
+  };
+  if (a.simplify && !a.quiet) {
+    std::cerr << "simplify: " << bm->graph.size() << " -> " << sg.size()
+              << " nodes\n";
+  }
+
+  if (a.emitAnalysis) {
+    writeTo(a.emitAnalysis, [&](std::ostream& os) {
+      analyze::dataflowToJson(result.analysis).write(os);
+      os << "\n";
+    });
+  }
+
   if (a.emitJson) {
     util::Json doc = util::Json::object();
     doc.set("benchmark", util::Json::string(bm->name));
@@ -285,8 +335,8 @@ int main(int argc, char** argv) {
     std::cout << map::timingSummary(result.area, opts.tcpNs);
   }
   if (a.emitSchedule) {
-    for (ir::NodeId v = 0; v < bm->graph.size(); ++v) {
-      const ir::Node& n = bm->graph.node(v);
+    for (ir::NodeId v = 0; v < sg.size(); ++v) {
+      const ir::Node& n = sg.node(v);
       if (n.kind == ir::OpKind::Const) continue;
       std::cout << "  n" << v << " " << ir::opKindName(n.kind)
                 << (n.name.empty() ? "" : " '" + n.name + "'") << " @ cycle "
@@ -295,14 +345,13 @@ int main(int argc, char** argv) {
     }
   }
   if (a.emitVcd) {
-    std::vector<sim::InputFrame> frames;
-    for (std::uint64_t k = 0; k < 16; ++k) frames.push_back(bm->makeInputs(k, 1));
+    const std::vector<sim::InputFrame> frames = makeFrames(16);
     sim::Memory mem;
     if (bm->initMemory) bm->initMemory(mem);
     std::string vcdErr;
     bool ok = true;
     writeTo(a.emitVcd, [&](std::ostream& os) {
-      ok = sim::writeVcd(os, bm->graph, result.schedule, opts.delays, frames,
+      ok = sim::writeVcd(os, sg, result.schedule, opts.delays, frames,
                          &mem, {}, &vcdErr);
     });
     if (!ok) {
@@ -312,20 +361,25 @@ int main(int argc, char** argv) {
   }
   if (a.emitVerilog) {
     writeTo(a.emitVerilog, [&](std::ostream& os) {
-      rtl::emitVerilog(os, bm->graph, result.schedule, opts.delays);
+      rtl::emitVerilog(os, sg, result.schedule, opts.delays);
     });
   }
   if (a.emitLp) {
-    // Rebuild the model with a dump hook (solve is cut short).
-    const auto db = a.method == "base"
-                        ? cut::trivialCuts(bm->graph, opts.cuts)
-                        : cut::enumerateCuts(bm->graph, opts.cuts);
+    // Rebuild the model with a dump hook (solve is cut short). The
+    // mapping-aware flow enumerates under bit-level facts; reproduce
+    // them so the dumped model matches the one actually solved.
+    const ir::BitFacts facts =
+        analyze::toBitFacts(analyze::analyzeDataflow(sg));
+    cut::CutEnumOptions co = opts.cuts;
+    co.facts = &facts;
+    const auto db = a.method == "base" ? cut::trivialCuts(sg, opts.cuts)
+                                       : cut::enumerateCuts(sg, co);
     sched::MilpSchedOptions mo;
     mo.ii = result.schedule.ii;
     mo.tcpNs = a.tcp;
     mo.alpha = a.alpha;
     mo.beta = a.beta;
-    mo.maxLatency = result.schedule.latency(bm->graph) + 1;
+    mo.maxLatency = result.schedule.latency(sg) + 1;
     mo.formulation = a.formulation == "literal"
                          ? sched::Formulation::Literal
                          : sched::Formulation::Compact;
@@ -335,7 +389,7 @@ int main(int argc, char** argv) {
     writeTo(a.emitLp, [&](std::ostream& os) {
       sched::MilpSchedOptions dumped = mo;
       dumped.dumpModel = &os;
-      (void)sched::milpSchedule(bm->graph, db, opts.delays, dumped);
+      (void)sched::milpSchedule(sg, db, opts.delays, dumped);
     });
   }
   return 0;
