@@ -7,7 +7,6 @@
 //  (d) the greedy mapping-aware heuristic (the paper's "future work")
 //      versus the exact MILP.
 
-#include <chrono>
 #include <iostream>
 
 #include "bench_util.h"
@@ -90,15 +89,13 @@ int main() {
       const auto db = cut::enumerateCuts(bm.graph, o.cuts);
       sched::SdcOptions go;
       go.resources = bm.resources;
-      const auto t0 = std::chrono::steady_clock::now();
+      const util::Stopwatch greedyWatch;
       sched::SdcResult greedy;
       for (go.ii = 1; go.ii <= 4; ++go.ii) {
         greedy = sched::greedyMapSchedule(bm.graph, db, o.delays, go);
         if (greedy.success) break;
       }
-      const double gs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double gs = greedyWatch.seconds();
       if (milp.success) {
         t.addRow({bm.name, "MILP-map", std::to_string(milp.area.luts),
                   std::to_string(milp.area.ffs),

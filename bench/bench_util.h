@@ -12,12 +12,21 @@
 ///                           (default: one per hardware thread, capped)
 ///   LAMP_THREADS=<n>        branch & bound threads per MILP solve when
 ///                           jobs run one at a time (0 = auto)
+///   LAMP_BENCH_THREADS=1,2  thread counts for the micro_milp sweep
+///   LAMP_BENCH_OUT=DIR      redirect BENCH_*.json artifacts (the
+///                           bench_smoke ctest points this at scratch so
+///                           test runs never clobber the repo-root files)
+///
+/// All timing in bench/ goes through util::Stopwatch — no bench binary
+/// should touch std::chrono directly.
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "flow/flow.h"
+#include "util/timer.h"
 #include "workloads/workloads.h"
 
 namespace lamp::bench {
@@ -46,6 +55,34 @@ inline int envJobs() {
 inline int envThreads(int fallback) {
   const char* s = std::getenv("LAMP_THREADS");
   return s != nullptr ? std::atoi(s) : fallback;
+}
+
+/// Thread counts for solver-scaling sweeps; LAMP_BENCH_THREADS is a
+/// comma-separated override (the bench_smoke lane passes "1").
+inline std::vector<int> envThreadCounts(std::vector<int> fallback) {
+  const char* s = std::getenv("LAMP_BENCH_THREADS");
+  if (s == nullptr) return fallback;
+  std::vector<int> out;
+  std::string tok;
+  for (std::istringstream in(s); std::getline(in, tok, ',');) {
+    const int n = std::atoi(tok.c_str());
+    if (n > 0) out.push_back(n);
+  }
+  return out.empty() ? fallback : out;
+}
+
+/// Where a BENCH_*.json artifact lands: LAMP_BENCH_OUT if set, else the
+/// repo root baked in at configure time (so artifacts land in a stable
+/// place regardless of the invocation directory), else the CWD.
+inline std::string outputPath(const std::string& filename) {
+  if (const char* dir = std::getenv("LAMP_BENCH_OUT")) {
+    return std::string(dir) + "/" + filename;
+  }
+#ifdef LAMP_REPO_ROOT
+  return std::string(LAMP_REPO_ROOT) + "/" + filename;
+#else
+  return filename;
+#endif
 }
 
 inline std::vector<workloads::Benchmark> selectedBenchmarks(

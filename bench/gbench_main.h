@@ -1,0 +1,42 @@
+#ifndef LAMP_BENCH_GBENCH_MAIN_H
+#define LAMP_BENCH_GBENCH_MAIN_H
+
+/// \file gbench_main.h
+/// Shared main() for the google-benchmark micro targets. Unless the
+/// caller passed its own --benchmark_out, the JSON artifact is routed
+/// through bench::outputPath() so every micro_* binary leaves its
+/// BENCH_*.json next to the hand-rolled benches' artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace lamp::bench {
+
+inline int gbenchMain(int argc, char** argv, const char* defaultJson) {
+  std::vector<char*> args(argv, argv + argc);
+  bool hasOut = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) hasOut = true;
+  }
+  std::string outArg, fmtArg;
+  if (!hasOut) {
+    outArg = "--benchmark_out=" + outputPath(defaultJson);
+    fmtArg = "--benchmark_out_format=json";
+    args.push_back(outArg.data());
+    args.push_back(fmtArg.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace lamp::bench
+
+#endif  // LAMP_BENCH_GBENCH_MAIN_H

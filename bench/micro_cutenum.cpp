@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cut/cut.h"
+#include "gbench_main.h"
 #include "ir/builder.h"
 
 using namespace lamp;
@@ -60,4 +61,6 @@ BENCHMARK(BM_TrivialCuts)->Range(8, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lamp::bench::gbenchMain(argc, argv, "BENCH_cutenum.json");
+}

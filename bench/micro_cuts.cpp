@@ -139,8 +139,9 @@ int main() {
   } else {
     table.print(std::cout);
   }
-  writeJson("BENCH_cuts.json", rows);
-  std::cerr << "[micro_cuts] wrote BENCH_cuts.json (" << rows.size()
+  const std::string jsonPath = bench::outputPath("BENCH_cuts.json");
+  writeJson(jsonPath, rows);
+  std::cerr << "[micro_cuts] wrote " << jsonPath << " (" << rows.size()
             << " rows)\n";
   return 0;
 }

@@ -12,7 +12,8 @@
 // wall-clock can drop even on a single core.
 //
 // Knobs: LAMP_SCALE, LAMP_TIME_LIMIT (cap per solve, default 60 s),
-// LAMP_FILTER (restrict benchmarks), LAMP_CSV.
+// LAMP_FILTER (restrict benchmarks), LAMP_CSV, LAMP_BENCH_THREADS
+// (comma-separated thread sweep, default 1,2,4,8), LAMP_BENCH_OUT.
 
 #include <cmath>
 #include <fstream>
@@ -59,7 +60,7 @@ void writeJson(const std::string& path, const std::vector<Row>& rows) {
 int main() {
   const auto scale = bench::envScale();
   const double timeLimit = bench::envTimeLimit(60.0);
-  const int threadCounts[] = {1, 2, 4, 8};
+  const std::vector<int> threadCounts = bench::envThreadCounts({1, 2, 4, 8});
 
   // RS and AES by default (the Table 2 designs whose solves dominate);
   // LAMP_FILTER widens or narrows the set.
@@ -143,7 +144,8 @@ int main() {
   } else {
     table.print(std::cout);
   }
-  writeJson("BENCH_milp.json", rows);
-  std::cout << "\nWrote BENCH_milp.json (" << rows.size() << " rows)\n";
+  const std::string jsonPath = bench::outputPath("BENCH_milp.json");
+  writeJson(jsonPath, rows);
+  std::cout << "\nWrote " << jsonPath << " (" << rows.size() << " rows)\n";
   return 0;
 }

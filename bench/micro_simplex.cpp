@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "gbench_main.h"
 #include "lp/simplex.h"
 
 using namespace lamp::lp;
@@ -79,4 +80,6 @@ BENCHMARK(BM_SimplexIncrementalRebound)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lamp::bench::gbenchMain(argc, argv, "BENCH_simplex.json");
+}

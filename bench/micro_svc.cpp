@@ -189,7 +189,8 @@ int main() {
     throughputTable.print(std::cout);
   }
 
-  std::ofstream out("BENCH_svc.json");
+  const std::string jsonPath = bench::outputPath("BENCH_svc.json");
+  std::ofstream out(jsonPath);
   out << "{\n  \"latency\": [\n";
   for (std::size_t i = 0; i < latencyRows.size(); ++i) {
     const LatencyRow& r = latencyRows[i];
@@ -209,7 +210,7 @@ int main() {
         << (i + 1 < throughputRows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::cout << "\nWrote BENCH_svc.json (" << latencyRows.size()
+  std::cout << "\nWrote " << jsonPath << " (" << latencyRows.size()
             << " latency rows, " << throughputRows.size()
             << " throughput rows)\n";
   return 0;

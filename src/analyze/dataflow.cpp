@@ -6,6 +6,7 @@
 
 #include "ir/eval.h"
 #include "ir/passes.h"
+#include "obs/trace.h"
 
 namespace lamp::analyze {
 
@@ -636,6 +637,7 @@ struct Backward {
 }  // namespace
 
 DataflowResult analyzeDataflow(const Graph& g, const DataflowOptions& opts) {
+  obs::Span span("dataflow", "flow");
   Engine fwd(g, opts);
   fwd.runForward();
   Backward bwd(g, fwd.state, opts);
@@ -644,6 +646,8 @@ DataflowResult analyzeDataflow(const Graph& g, const DataflowOptions& opts) {
   DataflowResult r;
   r.forwardVisits = fwd.visits;
   r.backwardVisits = bwd.visits;
+  span.endArgs(obs::traceArg("visits",
+                             static_cast<double>(fwd.visits + bwd.visits)));
   r.converged = fwd.converged && bwd.converged;
   r.bits.resize(g.size());
   for (NodeId v = 0; v < g.size(); ++v) {

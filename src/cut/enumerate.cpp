@@ -6,6 +6,7 @@
 #include "cut/cut.h"
 #include "cut/dep.h"
 #include "ir/passes.h"
+#include "obs/trace.h"
 
 namespace lamp::cut {
 
@@ -407,6 +408,7 @@ std::string Cut::str(const ir::Graph& g) const {
 }
 
 CutDatabase enumerateCuts(const Graph& g, const CutEnumOptions& opts) {
+  obs::Span span("cut_enum", "flow");
   const auto start = std::chrono::steady_clock::now();
   Enumerator e(g, opts);
   e.run();
@@ -414,6 +416,8 @@ CutDatabase enumerateCuts(const Graph& g, const CutEnumOptions& opts) {
   db.cutsOf = std::move(e.cutsOf);
   db.worklistVisits = e.visits;
   for (const CutSet& cs : db.cutsOf) db.totalCuts += cs.cuts.size();
+  span.endArgs(obs::traceArg("totalCuts",
+                             static_cast<double>(db.totalCuts)));
   db.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -3,10 +3,12 @@
 #include "analyze/dataflow.h"
 #include "ir/simplify.h"
 #include "map/area.h"
+#include "obs/trace.h"
 #include "sched/greedy.h"
 #include "sched/schedule.h"
 #include "sim/pipeline_sim.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace lamp::flow {
 
@@ -81,12 +83,18 @@ bool verifyFunctionally(const Benchmark& bm, const sched::Schedule& s,
 FlowResult finish(const Benchmark& bm, FlowResult r,
                   const cut::CutDatabase& db, const FlowOptions& opts,
                   const ir::BitFacts* facts) {
-  const sched::ValidationInput vin{bm.graph, db, opts.delays, bm.resources,
-                                   facts};
-  if (const auto diag = sched::validateSchedule(vin, r.schedule)) {
-    r.success = false;
-    appendError(r.error, "schedule validation failed: " + *diag);
-    return r;
+  {
+    const obs::Span span("validate", "flow");
+    const util::Stopwatch watch;
+    const sched::ValidationInput vin{bm.graph, db, opts.delays, bm.resources,
+                                     facts};
+    const auto diag = sched::validateSchedule(vin, r.schedule);
+    r.phases.validate = watch.seconds();
+    if (diag) {
+      r.success = false;
+      appendError(r.error, "schedule validation failed: " + *diag);
+      return r;
+    }
   }
   map::AreaOptions ao;
   ao.cuts = opts.cuts;
@@ -94,7 +102,11 @@ FlowResult finish(const Benchmark& bm, FlowResult r,
   // indexed by this graph's ids must not leak into those enumerations.
   ao.cuts.facts = nullptr;
   r.area = map::evaluate(bm.graph, r.schedule, opts.delays, ao);
-  r.functionallyVerified = verifyFunctionally(bm, r.schedule, db, opts);
+  {
+    const obs::Span span("verify", "flow");
+    const util::ScopedTimer t(&r.phases.verify);
+    r.functionallyVerified = verifyFunctionally(bm, r.schedule, db, opts);
+  }
   if (opts.verifyFrames > 0 && !r.functionallyVerified) {
     // The schedule (and area report) stay populated: callers get both
     // the solve outcome and the verification failure.
@@ -174,31 +186,46 @@ analyze::AnalysisOptions analysisOptions(const Benchmark& bm, Method method,
 
 FlowResult runFlow(const Benchmark& bm, Method method,
                    const FlowOptions& opts) {
+  if (opts.trace) obs::setTraceEnabled(true);
+  const obs::Span flowSpan("flow", "flow");
+  PhaseSeconds phases;
+
   // Pre-solve gate: a request the static analysis proves infeasible
   // (malformed IR, an op slower than the clock, MII beyond the retry
   // window, an unmappable cone) fails fast with structured diagnostics
   // instead of burning the solver time limit. Warnings and infos ride
   // along on whatever result the flow produces.
-  analyze::AnalysisReport report =
-      analyze::analyzeGraph(bm.graph, analysisOptions(bm, method, opts));
+  analyze::AnalysisReport report;
+  {
+    const obs::Span span("analyze", "flow");
+    const util::Stopwatch watch;
+    report = analyze::analyzeGraph(bm.graph, analysisOptions(bm, method, opts));
+    phases.analyze = watch.seconds();
+  }
   if (report.hasErrors()) {
     FlowResult r;
     r.method = method;
     r.status = lp::SolveStatus::Infeasible;
     r.error = "pre-solve analysis: " + analyze::summarizeErrors(report);
     r.diagnostics = std::move(report.diagnostics);
+    r.phases = phases;
+    r.buildSeconds = phases.analyze;
     return r;
   }
 
   // Bit-level dataflow on the input graph: drives the optional rewrite
   // and the mapping-aware arm's masked cut enumeration.
+  util::Stopwatch dflowWatch;
   analyze::DataflowResult dflow = analyze::analyzeDataflow(bm.graph);
   ir::BitFacts facts = analyze::toBitFacts(dflow);
+  phases.dataflow += dflowWatch.seconds();
 
   Benchmark work;                // simplified copy, when enabled
   const Benchmark* active = &bm;
   std::vector<ir::NodeId> simplifyMap;
   if (opts.simplify) {
+    const obs::Span span("simplify", "flow");
+    const util::Stopwatch watch;
     ir::Graph simplified = ir::simplify(bm.graph, facts, nullptr,
                                         &simplifyMap);
     if (const auto diag =
@@ -207,6 +234,9 @@ FlowResult runFlow(const Benchmark& bm, Method method,
       r.method = method;
       r.error = "simplification diverged from the original graph: " + *diag;
       r.diagnostics = std::move(report.diagnostics);
+      phases.simplify = watch.seconds();
+      r.phases = phases;
+      r.buildSeconds = phases.analyze + phases.dataflow + phases.simplify;
       return r;
     }
     work = bm;
@@ -217,9 +247,12 @@ FlowResult runFlow(const Benchmark& bm, Method method,
       return remapFrame(base(it, seed), map);
     };
     active = &work;
+    phases.simplify = watch.seconds();
     // Facts must index the graph actually enumerated and scheduled.
+    dflowWatch.restart();
     dflow = analyze::analyzeDataflow(work.graph);
     facts = analyze::toBitFacts(dflow);
+    phases.dataflow += dflowWatch.seconds();
   }
 
   // Production schedulers bump the II when the recurrence, resources, or
@@ -230,9 +263,20 @@ FlowResult runFlow(const Benchmark& bm, Method method,
   FlowResult last;
   for (int ii = opts.ii; ii <= opts.ii + 8; ++ii) {
     last = runFlowAtIi(*active, method, opts, ii, &facts);
+    // Retried attempts accumulate: the breakdown reports what the flow
+    // actually spent, not just the final II's share.
+    phases.cutEnum += last.phases.cutEnum;
+    phases.milpBuild += last.phases.milpBuild;
+    phases.milpSolve += last.phases.milpSolve;
+    phases.validate += last.phases.validate;
+    phases.verify += last.phases.verify;
     if (last.success) break;
     if (last.status == lp::SolveStatus::NoSolution) break;  // cap hit
   }
+  last.phases = phases;
+  last.buildSeconds = phases.analyze + phases.dataflow + phases.simplify +
+                      phases.cutEnum + phases.milpBuild;
+  last.solveSeconds = phases.milpSolve;
   last.diagnostics = std::move(report.diagnostics);
   if (opts.simplify) {
     last.simplifiedGraph = active->graph;
@@ -260,11 +304,13 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
   mapCuts.facts = facts;
   const ir::BitFacts* dbFacts = method == Method::MilpMap ? facts : nullptr;
 
+  const util::Stopwatch cutWatch;
   const cut::CutDatabase db =
       method == Method::MilpMap ? cut::enumerateCuts(bm.graph, mapCuts)
                                 : cut::trivialCuts(bm.graph, baseCuts);
   const cut::CutDatabase trivial =
       method == Method::MilpMap ? cut::trivialCuts(bm.graph, baseCuts) : db;
+  result.phases.cutEnum = cutWatch.seconds();
   result.numCuts = db.totalCuts;
 
   // The SDC baseline also provides the latency bound and warm start for
@@ -370,6 +416,8 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
   result.status = milp.status;
   result.solveSeconds = milp.solveSeconds;
   result.buildSeconds = milp.buildSeconds;
+  result.phases.milpBuild = milp.buildSeconds;
+  result.phases.milpSolve = milp.solveSeconds;
   result.branchNodes = milp.branchNodes;
   result.numVars = milp.numVars;
   result.numConstraints = milp.numConstraints;

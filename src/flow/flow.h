@@ -77,6 +77,27 @@ struct FlowOptions {
   /// Attach the per-node bit-level dataflow summary (known bits, range,
   /// demanded bits) of the scheduled graph to FlowResult::analysis.
   bool emitAnalysis = false;
+  /// Turn on the obs span tracer for this run (equivalent to setting
+  /// LAMP_TRACE=1 before startup; see obs/trace.h). Deliberately not
+  /// part of the service cache key — telemetry must never change what
+  /// gets solved.
+  bool trace = false;
+};
+
+/// Wall-clock seconds per flow phase, accumulated across the II retry
+/// window (a retried phase counts every attempt). The legacy
+/// FlowResult::buildSeconds/solveSeconds scalars are sums over these:
+/// buildSeconds = analyze + dataflow + simplify + cutEnum + milpBuild,
+/// solveSeconds = milpSolve.
+struct PhaseSeconds {
+  double analyze = 0.0;   ///< pre-solve static analysis gate
+  double dataflow = 0.0;  ///< bit-level dataflow fixpoint
+  double simplify = 0.0;  ///< graph rewrite + differential check
+  double cutEnum = 0.0;   ///< cut enumeration (trivial or mapping-aware)
+  double milpBuild = 0.0; ///< MILP model construction
+  double milpSolve = 0.0; ///< branch & bound
+  double validate = 0.0;  ///< schedule validation
+  double verify = 0.0;    ///< functional verification vs the interpreter
 };
 
 struct FlowResult {
@@ -93,8 +114,13 @@ struct FlowResult {
 
   // Solver statistics (zero for the heuristic flow).
   lp::SolveStatus status = lp::SolveStatus::Optimal;
+  /// Back-compat sums over `phases` (see PhaseSeconds): solveSeconds is
+  /// the B&B time, buildSeconds everything upstream of it.
   double solveSeconds = 0.0;
   double buildSeconds = 0.0;
+  /// Per-phase timing breakdown (rides the JSON serializers, so cached
+  /// daemon hits replay it unchanged).
+  PhaseSeconds phases;
   std::int64_t branchNodes = 0;
   std::size_t numVars = 0;
   std::size_t numConstraints = 0;

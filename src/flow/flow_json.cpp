@@ -105,6 +105,19 @@ Json resultToJson(const FlowResult& r) {
   solver.set("numConstraints",
              Json::integer(static_cast<std::int64_t>(r.numConstraints)));
   solver.set("numCuts", Json::integer(static_cast<std::int64_t>(r.numCuts)));
+  // Per-phase wall seconds: the breakdown the legacy two scalars sum
+  // over. Rides every serialized result, so cached daemon hits replay
+  // the original run's telemetry bit-identically.
+  Json phases = Json::object();
+  phases.set("analyze", Json::number(r.phases.analyze));
+  phases.set("dataflow", Json::number(r.phases.dataflow));
+  phases.set("simplify", Json::number(r.phases.simplify));
+  phases.set("cutEnum", Json::number(r.phases.cutEnum));
+  phases.set("milpBuild", Json::number(r.phases.milpBuild));
+  phases.set("milpSolve", Json::number(r.phases.milpSolve));
+  phases.set("validate", Json::number(r.phases.validate));
+  phases.set("verify", Json::number(r.phases.verify));
+  solver.set("phaseSeconds", std::move(phases));
   j.set("solver", std::move(solver));
   j.set("diagnostics", analyze::diagnosticsToJson(r.diagnostics));
   // Optional fields: absent unless the corresponding flow option ran.
@@ -195,6 +208,22 @@ bool resultFromJson(const Json& j, FlowResult& out, std::string* error) {
     out.numConstraints = nc ? static_cast<std::size_t>(nc->asInt(0)) : 0;
     const Json* nk = solver->find("numCuts");
     out.numCuts = nk ? static_cast<std::size_t>(nk->asInt(0)) : 0;
+    // Absent in results cached before the phase breakdown existed.
+    if (const Json* ph = solver->find("phaseSeconds");
+        ph != nullptr && ph->isObject()) {
+      const auto pnum = [&](const char* key) {
+        const Json* f = ph->find(key);
+        return f ? f->asDouble(0.0) : 0.0;
+      };
+      out.phases.analyze = pnum("analyze");
+      out.phases.dataflow = pnum("dataflow");
+      out.phases.simplify = pnum("simplify");
+      out.phases.cutEnum = pnum("cutEnum");
+      out.phases.milpBuild = pnum("milpBuild");
+      out.phases.milpSolve = pnum("milpSolve");
+      out.phases.validate = pnum("validate");
+      out.phases.verify = pnum("verify");
+    }
   }
   // Absent in results cached before diagnostics existed — tolerated so
   // old solution-cache files keep loading (they round-trip without it).

@@ -1,8 +1,12 @@
 #include "lp/milp.h"
 
 #include "lp/presolve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "util/work_deque.h"
+
+#include <string>
 
 #include <algorithm>
 #include <atomic>
@@ -237,6 +241,7 @@ Solution solveSerial(const SearchCtx& ctx, Solution best,
 
     if (best.feasible() &&
         node.parentBound >= best.objective - opts.absGapTol) {
+      ++best.prunedNodes;
       continue;  // pruned by bound
     }
 
@@ -250,6 +255,7 @@ Solution solveSerial(const SearchCtx& ctx, Solution best,
             best.values = std::move(x);
             best.objective = obj;
             best.status = SolveStatus::Feasible;
+            obs::instant("incumbent", "milp", obs::traceArg("objective", obj));
             if (opts.onIncumbent) opts.onIncumbent(best.objective, best.values);
           }
         });
@@ -294,6 +300,9 @@ struct SharedIncumbent {
 
 struct WorkerStats {
   std::int64_t simplexIterations = 0;
+  std::int64_t nodesExpanded = 0;
+  std::int64_t prunedNodes = 0;
+  std::int64_t steals = 0;
   std::int64_t dualPivots = 0;
   std::int64_t coldSolves = 0;
 };
@@ -329,6 +338,8 @@ struct ParallelState {
 
 void workerMain(const SearchCtx& ctx, ParallelState& st,
                 const util::Stopwatch& clock, int wid, WorkerStats& stats) {
+  obs::setThreadName("bnb-worker-" + std::to_string(wid));
+  obs::Span workerSpan("bnb_worker", "milp");
   // Each worker owns its incremental LP: the dual warm start is only
   // valid within one thread's sequence of bound changes.
   IncrementalSimplex lpSolver(ctx.work, ctx.opts.lp);
@@ -380,12 +391,14 @@ void workerMain(const SearchCtx& ctx, ParallelState& st,
     if (victim >= 0) {
       if (auto node = st.pools[victim].stealBest(nodeScore)) {
         holdingToken = true;
+        ++stats.steals;
         return node;
       }
       // Lost the race to another thief: fall back to any available node.
       for (int k = 1; k < nw; ++k) {
         if (auto node = st.pools[(wid + k) % nw].stealTop()) {
           holdingToken = true;
+          ++stats.steals;
           return node;
         }
       }
@@ -412,10 +425,12 @@ void workerMain(const SearchCtx& ctx, ParallelState& st,
       continue;
     }
     st.branchNodes.fetch_add(1, std::memory_order_relaxed);
+    ++stats.nodesExpanded;
 
     const double bestObj = st.inc.snapshot.load(std::memory_order_relaxed);
     const bool pruned =
         bestObj < kInf && node->parentBound >= bestObj - ctx.opts.absGapTol;
+    if (pruned) ++stats.prunedNodes;
     if (!pruned) {
       const NodeOutcome outcome = expandNode(
           ctx, lpSolver, *node, lb, ub,
@@ -438,6 +453,8 @@ void workerMain(const SearchCtx& ctx, ParallelState& st,
               st.inc.objective = obj;
               st.inc.feasible = true;
               st.inc.snapshot.store(obj, std::memory_order_relaxed);
+              obs::instant("incumbent", "milp",
+                           obs::traceArg("objective", obj));
               if (ctx.opts.onIncumbent) {
                 ctx.opts.onIncumbent(obj, st.inc.values);
               }
@@ -456,6 +473,8 @@ void workerMain(const SearchCtx& ctx, ParallelState& st,
 
   stats.dualPivots = lpSolver.dualPivots();
   stats.coldSolves = lpSolver.coldSolves();
+  workerSpan.endArgs(obs::traceArg(
+      "nodesExpanded", static_cast<double>(stats.nodesExpanded)));
 }
 
 Solution solveParallel(const SearchCtx& ctx, Solution best,
@@ -485,6 +504,8 @@ Solution solveParallel(const SearchCtx& ctx, Solution best,
   best.branchNodes += st.branchNodes.load(std::memory_order_relaxed);
   for (const WorkerStats& ws : stats) {
     best.simplexIterations += ws.simplexIterations;
+    best.prunedNodes += ws.prunedNodes;
+    best.steals += ws.steals;
     best.dualPivots += ws.dualPivots;
     best.coldSolves += ws.coldSolves;
   }
@@ -533,6 +554,24 @@ void MilpSolver::setInitialIncumbent(std::vector<double> x) {
 
 Solution MilpSolver::solve() {
   util::Stopwatch clock;
+  obs::Span solveSpan("milp_solve", "milp");
+
+  // Process-wide solver telemetry; one pass per solve on exit.
+  const auto recordMetrics = [](const Solution& s) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("lamp_milp_solves_total", "MILP solves completed").inc();
+    reg.counter("lamp_milp_nodes_explored_total", "branch & bound nodes")
+        .inc(static_cast<std::uint64_t>(s.branchNodes));
+    reg.counter("lamp_milp_nodes_pruned_total", "nodes fathomed by bound")
+        .inc(static_cast<std::uint64_t>(s.prunedNodes));
+    reg.counter("lamp_milp_steals_total", "B&B work steals")
+        .inc(static_cast<std::uint64_t>(s.steals));
+    reg.histogram("lamp_milp_solve_seconds",
+                  obs::Histogram::exponentialBounds(0.001, 4.0, 12),
+                  "MILP wall time per solve")
+        .observe(s.wallSeconds);
+    return s;
+  };
 
   Solution best;
   best.status = SolveStatus::NoSolution;
@@ -544,6 +583,8 @@ Solution MilpSolver::solve() {
     best.values = initialIncumbent_;
     best.objective = model_.objective().evaluate(initialIncumbent_);
     best.status = SolveStatus::Feasible;
+    obs::instant("incumbent", "milp",
+                 obs::traceArg("objective", best.objective));
     if (opts_.onIncumbent) opts_.onIncumbent(best.objective, best.values);
   }
 
@@ -557,7 +598,7 @@ Solution MilpSolver::solve() {
     best.status = best.feasible() ? SolveStatus::Optimal
                                   : SolveStatus::Infeasible;
     best.wallSeconds = clock.seconds();
-    return best;
+    return recordMetrics(best);
   }
 
   const std::size_t n = work.numVars();
@@ -577,8 +618,12 @@ Solution MilpSolver::solve() {
   }
 
   const int threads = resolveThreads(opts_.threads);
-  if (threads == 1) return solveSerial(ctx, std::move(best), clock);
-  return solveParallel(ctx, std::move(best), clock, threads);
+  Solution sol = threads == 1
+                     ? solveSerial(ctx, std::move(best), clock)
+                     : solveParallel(ctx, std::move(best), clock, threads);
+  solveSpan.endArgs(
+      obs::traceArg("branchNodes", static_cast<double>(sol.branchNodes)));
+  return recordMetrics(sol);
 }
 
 }  // namespace lamp::lp

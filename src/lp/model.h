@@ -112,6 +112,8 @@ struct Solution {
   // Statistics.
   std::int64_t simplexIterations = 0;
   std::int64_t branchNodes = 0;
+  std::int64_t prunedNodes = 0;  ///< fathomed by bound before the LP ran
+  std::int64_t steals = 0;       ///< work-steals between B&B workers
   std::int64_t dualPivots = 0;   ///< hot-restart dual simplex pivots
   std::int64_t coldSolves = 0;   ///< from-scratch LP solves
   double wallSeconds = 0.0;

@@ -1,0 +1,53 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <ostream>
+
+namespace lamp::obs {
+
+namespace {
+
+std::mutex gMu;
+std::atomic<std::ostream*> gSink{nullptr};
+
+double unixSeconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double s = std::chrono::duration<double>(now).count();
+  return std::round(s * 1000.0) / 1000.0;  // ms resolution is plenty
+}
+
+}  // namespace
+
+bool logEnabled() {
+  return gSink.load(std::memory_order_relaxed) != nullptr;
+}
+
+void setLogSink(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(gMu);
+  gSink.store(os, std::memory_order_relaxed);
+}
+
+void logEvent(std::string_view event, util::Json fields) {
+  if (!logEnabled()) return;
+  util::Json rec = util::Json::object();
+  rec.set("ts", util::Json::number(unixSeconds()));
+  rec.set("event", util::Json::string(std::string(event)));
+  if (fields.isObject()) {
+    for (const auto& [key, value] : fields.members()) {
+      rec.set(key, value);
+    }
+  } else if (!fields.isNull()) {
+    rec.set("data", std::move(fields));
+  }
+  const std::string line = rec.dump();
+  std::lock_guard<std::mutex> lock(gMu);
+  std::ostream* os = gSink.load(std::memory_order_relaxed);
+  if (os == nullptr) return;  // detached while we rendered
+  *os << line << '\n';
+  os->flush();
+}
+
+}  // namespace lamp::obs

@@ -1,0 +1,35 @@
+#ifndef LAMP_OBS_LOG_H
+#define LAMP_OBS_LOG_H
+
+/// \file log.h
+/// Structured (NDJSON) event logging. Each call renders one JSON object
+/// per line — {"ts":<unix seconds>,"event":"...", ...fields} — so the
+/// daemon's per-request logs are machine-parseable (request id, cache
+/// hit class, queue wait, deadline slack) instead of printf prose.
+///
+/// The logger is process-wide and disabled by default; tools opt in by
+/// pointing it at a stream (stderr or a file). Lines are written whole
+/// under a mutex, so concurrent requests never interleave mid-record.
+
+#include <iosfwd>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace lamp::obs {
+
+/// True when a sink is attached and events are being written.
+bool logEnabled();
+
+/// Attaches the sink stream (nullptr detaches / disables). The stream
+/// must outlive logging; callers own it.
+void setLogSink(std::ostream* os);
+
+/// Writes one NDJSON record: `fields` (an object; other kinds are
+/// wrapped under "data") plus "ts" (unix seconds, 3 decimals) and
+/// "event". No-op when disabled.
+void logEvent(std::string_view event, util::Json fields);
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_LOG_H

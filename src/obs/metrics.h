@@ -1,0 +1,135 @@
+#ifndef LAMP_OBS_METRICS_H
+#define LAMP_OBS_METRICS_H
+
+/// \file metrics.h
+/// Process-wide metrics: counters, gauges and fixed-bucket latency
+/// histograms, collected in a Registry that renders to JSON (with
+/// p50/p95/p99 estimates per histogram) and to the Prometheus text
+/// exposition format.
+///
+/// Update paths are lock-free (relaxed atomics); registration and
+/// rendering serialize on the registry mutex, so a render is one
+/// consistent pass over every metric — the property svc::Service relies
+/// on for its `stats` verb (its old hand-rolled statsJson() read each
+/// counter at a different instant).
+///
+/// There is one process-global registry (Registry::global()) for
+/// solver-level metrics, and components that need isolated counting —
+/// e.g. each svc::Service instance, so tests with several services do
+/// not share counters — own their own Registry and merge it into their
+/// exposition.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace lamp::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Counters are monotonic in normal operation; reset exists for
+  /// Registry::reset() (tests) only.
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus-style cumulative exposition; the
+/// implicit +Inf bucket is always present). Bounds are upper bounds,
+/// strictly ascending. observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< finite upper bounds
+    std::vector<std::uint64_t> counts;   ///< per-bucket (bounds.size()+1)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Quantile estimate by linear interpolation inside the bucket that
+    /// holds the target rank (the Prometheus histogram_quantile model).
+    /// Observations in the +Inf bucket clamp to the last finite bound.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void reset();
+
+  /// n ascending bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> exponentialBounds(double start, double factor,
+                                               int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metrics, insertion-ordered. Metric references returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime;
+/// calling a getter again with the same name returns the same object.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (solver internals, flow counters).
+  static Registry& global();
+
+  Counter& counter(const std::string& name, std::string help = {});
+  Gauge& gauge(const std::string& name, std::string help = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       std::string help = {});
+
+  /// One consistent pass: {"name": {"type":..., "value":...}, ...};
+  /// histograms carry count/sum/buckets and p50/p95/p99.
+  util::Json toJson() const;
+
+  /// Prometheus text exposition (# HELP/# TYPE + samples).
+  std::string toPrometheus() const;
+
+  /// Zeroes every counter/gauge/histogram (tests).
+  void reset();
+
+ private:
+  struct Entry {
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram } kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* findLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_METRICS_H

@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/json.h"
+
+namespace lamp::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One buffered trace event. Name/category point at string literals at
+/// the instrumentation sites; args (when present) are pre-rendered JSON
+/// object text, built only while tracing is enabled.
+struct Event {
+  char ph = 'B';  // 'B' begin, 'E' end, 'i' instant
+  std::int64_t tsUs = 0;
+  const char* name = "";
+  const char* cat = "";
+  std::string args;
+};
+
+/// Capped per-thread buffer. The owning thread appends under `mu`
+/// (uncontended except during a concurrent dump); the collector locks
+/// the same mutex, so dumping mid-run is safe.
+struct ThreadBuf {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::string threadName;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+};
+
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;  // live + exited threads
+  std::uint32_t nextTid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+std::atomic<bool>& enabledFlag() {
+  static std::atomic<bool> flag{[] {
+    const char* e = std::getenv("LAMP_TRACE");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+  }()};
+  return flag;
+}
+
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::int64_t nowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch())
+      .count();
+}
+
+ThreadBuf& threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.nextTid++;
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void record(char ph, const char* name, const char* cat, std::string args) {
+  const std::int64_t ts = nowUs();  // before the lock: cheap + ordered
+  ThreadBuf& buf = threadBuf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{ph, ts, name, cat, std::move(args)});
+}
+
+}  // namespace
+
+bool traceEnabled() {
+  return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void setTraceEnabled(bool on) {
+  if (on) (void)epoch();  // pin the epoch no later than enabling
+  enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+void setThreadName(const std::string& name) {
+  if (!traceEnabled()) return;
+  ThreadBuf& buf = threadBuf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.threadName = name;
+}
+
+std::string traceArg(const char* key, double value) {
+  util::Json j = util::Json::object();
+  j.set(key, util::Json::number(value));
+  return j.dump();
+}
+
+void instant(const char* name, const char* category, std::string argsJson) {
+  if (!traceEnabled()) return;
+  record('i', name, category, std::move(argsJson));
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category), active_(traceEnabled()) {
+  if (active_) record('B', name_, category_, {});
+}
+
+Span::Span(const char* name, const char* category, std::string endArgsJson)
+    : Span(name, category) {
+  if (active_) endArgs_ = std::move(endArgsJson);
+}
+
+void Span::endArgs(std::string argsJson) {
+  if (active_) endArgs_ = std::move(argsJson);
+}
+
+Span::~Span() {
+  // Symmetry over the enable flag: a span opened while tracing was on
+  // always closes, even if tracing was turned off meanwhile — every 'B'
+  // gets its 'E'.
+  if (active_) record('E', name_, category_, std::move(endArgs_));
+}
+
+void writeChromeTrace(std::ostream& os) {
+  Registry& r = registry();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    bufs = r.bufs;
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    dropped += buf->dropped;
+    if (!buf->threadName.empty()) {
+      os << (first ? "" : ",")
+         << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+         << util::Json::string(buf->threadName).dump() << "}}";
+      first = false;
+    }
+    for (const Event& e : buf->events) {
+      os << (first ? "" : ",") << "{\"ph\":\"" << e.ph
+         << "\",\"ts\":" << e.tsUs << ",\"pid\":1,\"tid\":" << buf->tid
+         << ",\"name\":" << util::Json::string(e.name).dump()
+         << ",\"cat\":" << util::Json::string(e.cat).dump();
+      if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+      if (!e.args.empty()) os << ",\"args\":" << e.args;
+      os << "}";
+      first = false;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"lampDroppedEvents\":" << dropped
+     << "}\n";
+}
+
+std::size_t traceEventCount() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::uint64_t traceDroppedEvents() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t n = 0;
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
+}
+
+void clearTrace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace lamp::obs

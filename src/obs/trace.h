@@ -1,0 +1,94 @@
+#ifndef LAMP_OBS_TRACE_H
+#define LAMP_OBS_TRACE_H
+
+/// \file trace.h
+/// Low-overhead hierarchical span tracer emitting Chrome trace-event
+/// JSON (the format chrome://tracing and Perfetto load directly).
+///
+/// Model: a process-wide on/off flag, per-thread event buffers, and RAII
+/// spans. When tracing is off, constructing a Span costs one relaxed
+/// atomic load and nothing else — cheap enough to leave the
+/// instrumentation in every hot path permanently (the overhead budget is
+/// < 2% of wall time on the solver microbenchmarks; tests/obs_test
+/// asserts it). When tracing is on, each span records a begin ('B') and
+/// end ('E') event into its thread's buffer: no cross-thread
+/// synchronization on the hot path beyond the buffer's own (uncontended)
+/// mutex, which only the final collection ever competes for.
+///
+/// Events carry microsecond timestamps from one process-wide
+/// steady_clock epoch, so timestamps are monotonic per thread and
+/// mutually comparable across threads. Buffers are capped (events past
+/// the cap are counted, not stored) so a runaway trace cannot exhaust
+/// memory.
+///
+/// Enabling: setTraceEnabled(true), or the LAMP_TRACE environment
+/// variable (any value except "0"), checked once at first use.
+/// Dumping: writeChromeTrace() renders every live and retired thread
+/// buffer as one {"traceEvents": [...]} document; lampc --trace-out and
+/// lampd --trace-dir call it at exit.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lamp::obs {
+
+/// True when span/instant events are being recorded.
+bool traceEnabled();
+
+/// Turns tracing on or off process-wide (overrides LAMP_TRACE).
+void setTraceEnabled(bool on);
+
+/// Names the calling thread in the trace viewer (emitted as a
+/// thread_name metadata event). No-op while tracing is off.
+void setThreadName(const std::string& name);
+
+/// Renders one numeric key as a trace-event args object ({"key":v}).
+std::string traceArg(const char* key, double value);
+
+/// Records an instant event ('i', thread scope) — e.g. a new MILP
+/// incumbent with its objective value. `argsJson` must be empty or a
+/// complete JSON object literal (see traceArg).
+void instant(const char* name, const char* category,
+             std::string argsJson = {});
+
+/// RAII span: records 'B' at construction and 'E' at destruction on the
+/// calling thread. Name and category must outlive the span (string
+/// literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "lamp");
+  /// Span whose end event carries args (e.g. a result size).
+  Span(const char* name, const char* category, std::string endArgsJson);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches args to the pending end event (ignored when inactive).
+  void endArgs(std::string argsJson);
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::string endArgs_;
+  bool active_;
+};
+
+/// Writes every buffered event (all threads, including exited ones) as
+/// a Chrome trace-event JSON document. Does not clear the buffers.
+void writeChromeTrace(std::ostream& os);
+
+/// Total buffered events across all threads (tests, size reporting).
+std::size_t traceEventCount();
+
+/// Events dropped because a per-thread buffer hit its cap.
+std::uint64_t traceDroppedEvents();
+
+/// Discards all buffered events (buffers stay registered).
+void clearTrace();
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_TRACE_H

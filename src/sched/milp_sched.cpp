@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "ir/passes.h"
+#include "obs/trace.h"
 
 namespace lamp::sched {
 
@@ -45,6 +47,8 @@ MilpSchedResult milpSchedule(const Graph& g, const cut::CutDatabase& db,
                              const MilpSchedOptions& opts) {
   using Clock = std::chrono::steady_clock;
   const auto tBuild = Clock::now();
+  std::optional<obs::Span> buildSpan;
+  buildSpan.emplace("milp_build", "milp");
 
   MilpSchedResult result;
   const Windows win =
@@ -374,6 +378,10 @@ MilpSchedResult milpSchedule(const Graph& g, const cut::CutDatabase& db,
   result.numConstraints = model.numConstraints();
   result.buildSeconds =
       std::chrono::duration<double>(Clock::now() - tBuild).count();
+  buildSpan->endArgs(
+      obs::traceArg("numConstraints",
+                    static_cast<double>(model.numConstraints())));
+  buildSpan.reset();
   if (opts.dumpModel != nullptr) model.writeLp(*opts.dumpModel);
   if (model.numConstraints() > opts.maxRows) {
     result.status = lp::SolveStatus::NoSolution;
@@ -509,6 +517,8 @@ MilpSchedResult milpSchedule(const Graph& g, const cut::CutDatabase& db,
   result.bestBound = sol.bestBound;
   result.solveSeconds = sol.wallSeconds;
   result.branchNodes = sol.branchNodes;
+  result.prunedNodes = sol.prunedNodes;
+  result.steals = sol.steals;
   result.simplexIterations = sol.simplexIterations;
   result.dualPivots = sol.dualPivots;
   result.coldSolves = sol.coldSolves;

@@ -93,6 +93,8 @@ struct MilpSchedResult {
   double buildSeconds = 0.0;
   double solveSeconds = 0.0;
   std::int64_t branchNodes = 0;
+  std::int64_t prunedNodes = 0;
+  std::int64_t steals = 0;
   std::int64_t simplexIterations = 0;
   std::int64_t dualPivots = 0;
   std::int64_t coldSolves = 0;

@@ -40,6 +40,9 @@ std::optional<Request> parseRequest(const std::string& line,
       req.cmd = value.asString();
     } else if (key == "ms") {
       req.sleepMs = value.asDouble();
+    } else if (key == "format") {
+      if (!value.isString()) return fail("format must be a string");
+      req.statsFormat = value.asString();
     } else if (key == "benchmark") {
       if (!value.isString()) return fail("benchmark must be a string");
       req.benchmark = value.asString();
@@ -72,6 +75,13 @@ std::optional<Request> parseRequest(const std::string& line,
     }
   } else if (req.cmd != "stats" && req.cmd != "sleep") {
     return fail("unknown cmd '" + req.cmd + "'");
+  }
+  if (!req.statsFormat.empty()) {
+    if (req.cmd != "stats") return fail("'format' is only valid with stats");
+    if (req.statsFormat != "json" && req.statsFormat != "prometheus") {
+      return fail("unknown stats format '" + req.statsFormat + "'");
+    }
+    if (req.statsFormat == "json") req.statsFormat.clear();
   }
   return req;
 }

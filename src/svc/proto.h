@@ -27,6 +27,14 @@
 /// Control requests: {"cmd": "stats"} and {"cmd": "sleep", "ms": N}
 /// (the latter occupies a worker — a test/diagnostics hook).
 ///
+/// "stats" returns one consistent snapshot of the service metrics
+/// registry: the legacy flat "stats" object, a "metrics" object with
+/// every counter/gauge/histogram (histograms carry p50/p95/p99), and a
+/// "process" object with the process-wide solver registry. With
+/// {"cmd":"stats","format":"prometheus"} the response is instead
+/// {"ok":true,"prometheus":"<text exposition>"} — the multi-line
+/// Prometheus text rides the NDJSON protocol as one string field.
+///
 /// Success response:
 ///   {"id":"r1","ok":true,"cache":"hit"|"warm"|"miss"|"off",
 ///    "queueMs":..,"wallMs":..,"result":{...flow::resultToJson...}}
@@ -55,6 +63,7 @@ namespace lamp::svc {
 struct Request {
   std::string id;                ///< echoed verbatim ("" if absent)
   std::string cmd;               ///< "", "stats" or "sleep"
+  std::string statsFormat;       ///< "" (JSON) or "prometheus"
   double sleepMs = 0.0;
   std::string benchmark;         ///< built-in benchmark name, or
   std::string graphText;         ///< inline .lamp graph text

@@ -9,6 +9,8 @@
 
 #include "flow/flow_json.h"
 #include "ir/passes.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/timer.h"
 #include "workloads/workloads.h"
@@ -47,12 +49,59 @@ bool resolveBenchmark(const Request& req, workloads::Benchmark& bm,
   return true;
 }
 
+/// One NDJSON record per answered request (no-op unless a log sink is
+/// attached, see obs::setLogSink). `deadlineMs <= 0` omits the slack.
+void logRequestDone(const Request& req, std::string_view status,
+                    std::string_view cache, double queueMs, double wallMs) {
+  if (!obs::logEnabled()) return;
+  Json f = Json::object();
+  f.set("id", Json::string(req.id));
+  f.set("status", Json::string(std::string(status)));
+  if (!cache.empty()) f.set("cache", Json::string(std::string(cache)));
+  f.set("queueMs", Json::number(queueMs));
+  f.set("wallMs", Json::number(wallMs));
+  if (req.deadlineMs > 0) {
+    f.set("deadlineSlackMs",
+          Json::number(req.deadlineMs - queueMs - wallMs));
+  }
+  obs::logEvent("request_done", std::move(f));
+}
+
 }  // namespace
 
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cacheDir) {
   if (opts_.workers <= 0) opts_.workers = util::ThreadPool::defaultThreads();
   if (opts_.queueCap < 1) opts_.queueCap = 1;
+
+  cReceived_ = &metrics_.counter("lamp_svc_requests_received_total",
+                                 "requests submitted");
+  cServed_ = &metrics_.counter("lamp_svc_requests_served_total",
+                               "requests answered ok");
+  cBadRequests_ = &metrics_.counter("lamp_svc_bad_requests_total",
+                                    "parse/resolve rejections");
+  cOverloaded_ = &metrics_.counter("lamp_svc_overloaded_total",
+                                   "bounded-admission rejections");
+  cDeadlineExceeded_ = &metrics_.counter(
+      "lamp_svc_deadline_exceeded_total", "deadlines expired in queue");
+  cFlowFailures_ = &metrics_.counter("lamp_svc_flow_failures_total",
+                                     "flows that failed to produce a result");
+  cInfeasible_ = &metrics_.counter("lamp_svc_infeasible_total",
+                                   "pre-solve analysis rejections");
+  gQueueDepth_ = &metrics_.gauge("lamp_svc_queue_depth",
+                                 "admitted requests not yet started");
+  gUptime_ = &metrics_.gauge("lamp_svc_uptime_seconds",
+                             "seconds since service start");
+  gCacheEntries_ = &metrics_.gauge("lamp_svc_cache_entries",
+                                   "solution cache entries");
+  hQueueWaitMs_ = &metrics_.histogram(
+      "lamp_svc_queue_wait_ms", obs::Histogram::exponentialBounds(0.1, 4.0, 10),
+      "time between admission and worker pickup");
+  hSolveSeconds_ = &metrics_.histogram(
+      "lamp_svc_solve_seconds",
+      obs::Histogram::exponentialBounds(0.001, 4.0, 12),
+      "wall time per flow request (cache hits included)");
+
   pool_ = std::make_unique<util::ThreadPool>(opts_.workers);
 }
 
@@ -62,19 +111,32 @@ void Service::drain() { pool_->wait(); }
 
 void Service::submit(const std::string& line,
                      std::function<void(std::string)> done) {
-  counters_.received.fetch_add(1, std::memory_order_relaxed);
+  cReceived_->inc();
 
   std::string error, id;
   auto req = parseRequest(line, &error, &id);
   if (!req) {
-    counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+    cBadRequests_->inc();
+    Request rejected;
+    rejected.id = id;
+    logRequestDone(rejected, "bad_request", {}, 0.0, 0.0);
     done(errorResponse(id, "bad_request", error));
     return;
   }
 
   if (req->cmd == "stats") {  // served inline, never queued
-    counters_.served.fetch_add(1, std::memory_order_relaxed);
-    done(statsJson());
+    cServed_->inc();
+    if (req->statsFormat == "prometheus") {
+      // The multi-line exposition rides the NDJSON protocol as one
+      // string field; clients (lamp-cli --format=prometheus) unwrap it.
+      Json j = Json::object();
+      if (!req->id.empty()) j.set("id", Json::string(req->id));
+      j.set("ok", Json::boolean(true));
+      j.set("prometheus", Json::string(statsPrometheus()));
+      done(j.dump());
+      return;
+    }
+    done(statsJson(req->id));
     return;
   }
 
@@ -89,14 +151,16 @@ void Service::submit(const std::string& line,
   if (req->cmd.empty()) {
     std::string resolveError;
     if (!resolveBenchmark(*req, bm, &resolveError)) {
-      counters_.badRequests.fetch_add(1, std::memory_order_relaxed);
+      cBadRequests_->inc();
+      logRequestDone(*req, "bad_request", {}, 0.0, 0.0);
       done(errorResponse(req->id, "bad_request", resolveError));
       return;
     }
     analyze::AnalysisReport report = analyze::analyzeGraph(
         bm.graph, flow::analysisOptions(bm, req->method, req->options));
     if (report.hasErrors()) {
-      counters_.infeasible.fetch_add(1, std::memory_order_relaxed);
+      cInfeasible_->inc();
+      logRequestDone(*req, "infeasible", {}, 0.0, 0.0);
       done(errorResponse(
           req->id, "infeasible",
           "pre-solve analysis: " + analyze::summarizeErrors(report), nullptr,
@@ -111,7 +175,8 @@ void Service::submit(const std::string& line,
   int depth = queued_.load(std::memory_order_relaxed);
   do {
     if (depth >= opts_.queueCap) {
-      counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
+      cOverloaded_->inc();
+      logRequestDone(*req, "overloaded", {}, 0.0, 0.0);
       done(errorResponse(req->id, "overloaded",
                          "admission queue full (cap " +
                              std::to_string(opts_.queueCap) + ")"));
@@ -150,10 +215,11 @@ std::string Service::call(const std::string& line) {
 
 std::string Service::process(const Request& req,
                              const workloads::Benchmark& bm, double queueMs) {
+  hQueueWaitMs_->observe(queueMs);
   if (req.cmd == "sleep") {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(req.sleepMs));
-    counters_.served.fetch_add(1, std::memory_order_relaxed);
+    cServed_->inc();
     Json j = Json::object();
     j.set("id", Json::string(req.id));
     j.set("ok", Json::boolean(true));
@@ -164,7 +230,8 @@ std::string Service::process(const Request& req,
   // Deadline check on pickup: a request that spent its whole budget in
   // the queue is answered without burning a solve on it.
   if (req.deadlineMs > 0 && queueMs >= req.deadlineMs) {
-    counters_.deadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+    cDeadlineExceeded_->inc();
+    logRequestDone(req, "deadline_exceeded", {}, queueMs, 0.0);
     return errorResponse(req.id, "deadline_exceeded",
                          "deadline of " + std::to_string(req.deadlineMs) +
                              " ms expired after " + std::to_string(queueMs) +
@@ -205,9 +272,11 @@ std::string Service::runFlowRequest(const Request& req,
   if (useCache) {
     SolutionCache::Lookup hit = cache_.lookup(key);
     if (hit.kind == SolutionCache::Lookup::Kind::Exact) {
-      counters_.served.fetch_add(1, std::memory_order_relaxed);
-      return resultResponse(req.id, "hit", queueMs, wall.seconds() * 1000.0,
-                            hit.result);
+      cServed_->inc();
+      const double wallMs = wall.seconds() * 1000.0;
+      hSolveSeconds_->observe(wall.seconds());
+      logRequestDone(req, "ok", "hit", queueMs, wallMs);
+      return resultResponse(req.id, "hit", queueMs, wallMs, hit.result);
     }
     if (hit.kind == SolutionCache::Lookup::Kind::Warm) {
       cacheState = "warm";
@@ -219,50 +288,75 @@ std::string Service::runFlowRequest(const Request& req,
   const flow::FlowResult result = flow::runFlow(bm, req.method, opts);
   if (useCache && result.success) cache_.insert(key, result);
 
+  const double wallMs = wall.seconds() * 1000.0;
+  hSolveSeconds_->observe(wall.seconds());
   if (!result.success) {
-    counters_.flowFailures.fetch_add(1, std::memory_order_relaxed);
+    cFlowFailures_->inc();
+    logRequestDone(req, "flow_failed", cacheState, queueMs, wallMs);
     // The partial result rides along: a verification failure after a
     // successful solve still carries its schedule and solver stats.
     return errorResponse(req.id, "flow_failed", result.error, &result);
   }
-  counters_.served.fetch_add(1, std::memory_order_relaxed);
-  return resultResponse(req.id, cacheState, queueMs, wall.seconds() * 1000.0,
-                        result);
+  cServed_->inc();
+  logRequestDone(req, "ok", cacheState, queueMs, wallMs);
+  return resultResponse(req.id, cacheState, queueMs, wallMs, result);
 }
 
 ServiceStats Service::stats() const {
   ServiceStats s;
-  s.received = counters_.received.load(std::memory_order_relaxed);
-  s.served = counters_.served.load(std::memory_order_relaxed);
-  s.badRequests = counters_.badRequests.load(std::memory_order_relaxed);
-  s.overloaded = counters_.overloaded.load(std::memory_order_relaxed);
-  s.deadlineExceeded =
-      counters_.deadlineExceeded.load(std::memory_order_relaxed);
-  s.flowFailures = counters_.flowFailures.load(std::memory_order_relaxed);
-  s.infeasible = counters_.infeasible.load(std::memory_order_relaxed);
+  s.received = cReceived_->value();
+  s.served = cServed_->value();
+  s.badRequests = cBadRequests_->value();
+  s.overloaded = cOverloaded_->value();
+  s.deadlineExceeded = cDeadlineExceeded_->value();
+  s.flowFailures = cFlowFailures_->value();
+  s.infeasible = cInfeasible_->value();
   return s;
 }
 
-std::string Service::statsJson() const {
-  const ServiceStats s = stats();
+void Service::refreshGauges() const {
+  gQueueDepth_->set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  gUptime_->set(uptime_.seconds());
+  gCacheEntries_->set(static_cast<double>(cache_.size()));
+}
+
+std::string Service::statsJson(const std::string& id) const {
+  refreshGauges();
+  // One registry pass: every counter/gauge/histogram below is read in
+  // the same locked traversal (obs::Registry::toJson), not one load per
+  // field at drifting instants like the pre-obs statsJson.
+  util::Json metrics = metrics_.toJson();
+
+  const auto metricValue = [&](const char* name) -> std::int64_t {
+    const Json* m = metrics.find(name);
+    const Json* v = m != nullptr ? m->find("value") : nullptr;
+    return v != nullptr ? v->asInt(0) : 0;
+  };
+
   const CacheStats c = cache_.stats();
   Json j = Json::object();
+  if (!id.empty()) j.set("id", Json::string(id));
   j.set("ok", Json::boolean(true));
   Json stats = Json::object();
-  stats.set("received", Json::integer(static_cast<std::int64_t>(s.received)));
-  stats.set("served", Json::integer(static_cast<std::int64_t>(s.served)));
+  // Legacy flat fields, kept for wire back-compat — sourced from the
+  // same snapshot as the "metrics" object below.
+  stats.set("received",
+            Json::integer(metricValue("lamp_svc_requests_received_total")));
+  stats.set("served",
+            Json::integer(metricValue("lamp_svc_requests_served_total")));
   stats.set("badRequests",
-            Json::integer(static_cast<std::int64_t>(s.badRequests)));
+            Json::integer(metricValue("lamp_svc_bad_requests_total")));
   stats.set("overloaded",
-            Json::integer(static_cast<std::int64_t>(s.overloaded)));
+            Json::integer(metricValue("lamp_svc_overloaded_total")));
   stats.set("deadlineExceeded",
-            Json::integer(static_cast<std::int64_t>(s.deadlineExceeded)));
+            Json::integer(metricValue("lamp_svc_deadline_exceeded_total")));
   stats.set("flowFailures",
-            Json::integer(static_cast<std::int64_t>(s.flowFailures)));
+            Json::integer(metricValue("lamp_svc_flow_failures_total")));
   stats.set("infeasible",
-            Json::integer(static_cast<std::int64_t>(s.infeasible)));
+            Json::integer(metricValue("lamp_svc_infeasible_total")));
   stats.set("workers", Json::integer(opts_.workers));
   stats.set("queueCap", Json::integer(opts_.queueCap));
+  stats.set("uptimeSeconds", Json::number(uptime_.seconds()));
   Json cache = Json::object();
   cache.set("entries", Json::integer(static_cast<std::int64_t>(cache_.size())));
   cache.set("exactHits",
@@ -275,7 +369,17 @@ std::string Service::statsJson() const {
   cache.set("dir", Json::string(cache_.directory()));
   stats.set("cache", std::move(cache));
   j.set("stats", std::move(stats));
+  // The full registry: counters, gauges and histograms with p50/p95/p99.
+  j.set("metrics", std::move(metrics));
+  // Process-wide solver telemetry (MILP node/prune/steal counters and
+  // solve-latency histogram), shared by every service in the process.
+  j.set("process", obs::Registry::global().toJson());
   return j.dump();
+}
+
+std::string Service::statsPrometheus() const {
+  refreshGauges();
+  return metrics_.toPrometheus() + obs::Registry::global().toPrometheus();
 }
 
 }  // namespace lamp::svc

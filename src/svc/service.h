@@ -31,9 +31,11 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "svc/cache.h"
 #include "svc/proto.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace lamp::svc {
 
@@ -80,7 +82,17 @@ class Service {
   /// Blocks until every admitted request has been answered.
   void drain();
 
-  std::string statsJson() const;
+  /// One consistent snapshot of the whole metrics registry (service
+  /// counters, latency histograms with p50/p95/p99, cache state, queue
+  /// depth and uptime gauges) rendered as the "stats" JSON response.
+  /// Unlike the pre-obs implementation, every value comes from the same
+  /// registry pass — no counter is read at a different instant than its
+  /// neighbors. `id`, when non-empty, is echoed as the response "id"
+  /// (protocol pipelining contract).
+  std::string statsJson(const std::string& id = {}) const;
+  /// Same snapshot in Prometheus text exposition format, concatenated
+  /// with the process-global registry (MILP solver telemetry).
+  std::string statsPrometheus() const;
   ServiceStats stats() const;
   const SolutionCache& cache() const { return cache_; }
   const ServiceOptions& options() const { return opts_; }
@@ -90,19 +102,33 @@ class Service {
                       double queueMs);
   std::string runFlowRequest(const Request& req,
                              const workloads::Benchmark& bm, double queueMs);
+  /// Refreshes the point-in-time gauges (queue depth, uptime, cache
+  /// size) just before a registry render.
+  void refreshGauges() const;
 
   ServiceOptions opts_;
   SolutionCache cache_;
   std::atomic<int> queued_{0};
-  struct Counters {
-    std::atomic<std::uint64_t> received{0};
-    std::atomic<std::uint64_t> served{0};
-    std::atomic<std::uint64_t> badRequests{0};
-    std::atomic<std::uint64_t> overloaded{0};
-    std::atomic<std::uint64_t> deadlineExceeded{0};
-    std::atomic<std::uint64_t> flowFailures{0};
-    std::atomic<std::uint64_t> infeasible{0};
-  } counters_;
+  util::Stopwatch uptime_;
+
+  /// Per-service registry (NOT obs::Registry::global()): tests run
+  /// several Services in one process and assert exact counts, so each
+  /// instance owns its counters. Pointers below are stable aliases into
+  /// the registry, bound once in the constructor.
+  mutable obs::Registry metrics_;
+  obs::Counter* cReceived_ = nullptr;
+  obs::Counter* cServed_ = nullptr;
+  obs::Counter* cBadRequests_ = nullptr;
+  obs::Counter* cOverloaded_ = nullptr;
+  obs::Counter* cDeadlineExceeded_ = nullptr;
+  obs::Counter* cFlowFailures_ = nullptr;
+  obs::Counter* cInfeasible_ = nullptr;
+  obs::Gauge* gQueueDepth_ = nullptr;
+  obs::Gauge* gUptime_ = nullptr;
+  obs::Gauge* gCacheEntries_ = nullptr;
+  obs::Histogram* hQueueWaitMs_ = nullptr;
+  obs::Histogram* hSolveSeconds_ = nullptr;
+
   /// Declared last: the pool's destructor runs first and joins workers
   /// while the members above are still alive.
   std::unique_ptr<util::ThreadPool> pool_;

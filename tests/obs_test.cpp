@@ -1,0 +1,275 @@
+// Tests for the lamp::obs subsystem: span tracing (nesting across
+// threads, Chrome trace-event output shape), histogram bucket math and
+// quantile estimation, the Prometheus text exposition, and the
+// disabled-tracing overhead budget the tracer's header promises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace lamp;
+using util::Json;
+
+namespace {
+
+// --- tracing -----------------------------------------------------------------
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  obs::setTraceEnabled(false);
+  obs::clearTrace();
+  {
+    obs::Span s("quiet", "test");
+    EXPECT_FALSE(s.active());
+  }
+  obs::instant("quiet-instant", "test");
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST(TraceTest, SpanNestingAcrossThreads) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+
+  const auto worker = [](int i) {
+    obs::setThreadName("obs-test-" + std::to_string(i));
+    obs::Span outer("outer", "test");
+    {
+      obs::Span inner("inner", "test");
+      obs::instant("tick", "test", obs::traceArg("i", i));
+    }
+  };
+  std::thread a(worker, 0);
+  std::thread b(worker, 1);
+  a.join();
+  b.join();
+  {
+    obs::Span top("top", "test", obs::traceArg("x", 1.0));
+  }
+  obs::setTraceEnabled(false);
+
+  std::ostringstream os;
+  obs::writeChromeTrace(os);
+  const auto doc = Json::parse(os.str());
+  ASSERT_TRUE(doc) << "trace output is not valid JSON";
+  const Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+
+  // Per-tid begin/end matching with proper LIFO nesting and
+  // non-decreasing timestamps.
+  std::map<std::int64_t, std::vector<std::string>> stacks;
+  std::map<std::int64_t, double> lastTs;
+  std::vector<std::string> threadNames;
+  std::size_t spanPairs = 0, instants = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const std::string ph = e.find("ph")->asString();
+    if (ph == "M") {
+      threadNames.push_back(e.find("args")->find("name")->asString());
+      continue;
+    }
+    const std::int64_t tid = e.find("tid")->asInt();
+    const double ts = e.find("ts")->asDouble();
+    EXPECT_GE(ts, lastTs[tid]) << "timestamps regress on tid " << tid;
+    lastTs[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(e.find("name")->asString());
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[tid].empty()) << "E without matching B";
+      stacks[tid].pop_back();
+      ++spanPairs;
+    } else if (ph == "i") {
+      ++instants;
+      // Spec: the inner span is open when the instant fires.
+      ASSERT_FALSE(stacks[tid].empty());
+      EXPECT_EQ(stacks[tid].back(), "inner");
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  EXPECT_EQ(spanPairs, 5u);  // 2x (outer+inner) + top
+  EXPECT_EQ(instants, 2u);
+  EXPECT_NE(std::find(threadNames.begin(), threadNames.end(), "obs-test-0"),
+            threadNames.end());
+  EXPECT_NE(std::find(threadNames.begin(), threadNames.end(), "obs-test-1"),
+            threadNames.end());
+
+  obs::clearTrace();
+}
+
+TEST(TraceTest, DisabledOverheadUnderTwoPercent) {
+  obs::setTraceEnabled(false);
+
+  // A fixed CPU-bound workload (xorshift mixing), with one disabled Span
+  // construction per outer chunk vs. none. The tracer's contract is that
+  // a disabled Span costs one relaxed atomic load, so the delta must
+  // stay under the 2% budget with a wide margin.
+  const auto work = [](bool withSpans) {
+    std::uint64_t x = 88172645463325252ull;
+    const util::Stopwatch sw;
+    for (int outer = 0; outer < 2000; ++outer) {
+      if (withSpans) {
+        obs::Span s("chunk", "bench");
+        for (int i = 0; i < 3000; ++i) {
+          x ^= x << 13;
+          x ^= x >> 7;
+          x ^= x << 17;
+        }
+      } else {
+        for (int i = 0; i < 3000; ++i) {
+          x ^= x << 13;
+          x ^= x >> 7;
+          x ^= x << 17;
+        }
+      }
+    }
+    const double seconds = sw.seconds();
+    // Keep the mixing loop observable.
+    volatile std::uint64_t sink = x;
+    (void)sink;
+    return seconds;
+  };
+
+  // Interleave the two variants and take the minimum of each — the
+  // noise-robust estimator for a CPU-bound loop on a shared machine.
+  double with = 1e9, without = 1e9;
+  for (int rep = 0; rep < 5; ++rep) {
+    without = std::min(without, work(false));
+    with = std::min(with, work(true));
+  }
+  EXPECT_LT(with, without * 1.02 + 0.005)
+      << "disabled tracing cost " << (with / without - 1.0) * 100.0 << "%";
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(HistogramTest, BucketMathWithInclusiveBounds) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);    // (0, 1]
+  h.observe(1.0);    // exactly on a bound -> le="1" (inclusive)
+  h.observe(3.0);    // (2, 4]
+  h.observe(100.0);  // +Inf
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 104.5);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 0u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndClamps) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) h.observe(0.5);  // all in (0, 1]
+  h.observe(8.0);                              // one in +Inf
+  h.observe(9.0);                              // one in +Inf
+  const auto s = h.snapshot();
+  // rank(p50) = 5 of 10 lands in the first bucket: 0 + (5/8) * 1.
+  EXPECT_DOUBLE_EQ(s.quantile(0.50), 0.625);
+  // rank(p99) lands in the +Inf bucket: clamp to the last finite bound.
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 4.0);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(obs::Histogram({1.0}).snapshot().quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const auto b = obs::Histogram::exponentialBounds(0.001, 4.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.001);
+  EXPECT_DOUBLE_EQ(b[1], 0.004);
+  EXPECT_DOUBLE_EQ(b[2], 0.016);
+  EXPECT_DOUBLE_EQ(b[3], 0.064);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  obs::Registry reg;
+  obs::Counter& c1 = reg.counter("x_total");
+  obs::Counter& c2 = reg.counter("x_total");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(2);
+  EXPECT_EQ(c2.value(), 2u);
+
+  // Pointer stability across reset() — svc::Service caches these.
+  reg.reset();
+  EXPECT_EQ(c1.value(), 0u);
+  EXPECT_EQ(&reg.counter("x_total"), &c1);
+}
+
+TEST(RegistryTest, JsonCarriesQuantiles) {
+  obs::Registry reg;
+  reg.counter("req_total", "requests").inc(7);
+  reg.gauge("depth").set(3.5);
+  obs::Histogram& h = reg.histogram("lat_seconds", {0.1, 1.0}, "latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const Json j = reg.toJson();
+  EXPECT_EQ(j.find("req_total")->find("value")->asInt(), 7);
+  EXPECT_EQ(j.find("req_total")->find("type")->asString(), "counter");
+  EXPECT_DOUBLE_EQ(j.find("depth")->find("value")->asDouble(), 3.5);
+  const Json* lat = j.find("lat_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->asInt(), 3);
+  ASSERT_NE(lat->find("p50"), nullptr);
+  ASSERT_NE(lat->find("p95"), nullptr);
+  ASSERT_NE(lat->find("p99"), nullptr);
+  const Json* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 3u);  // 0.1, 1, +Inf
+  // Cumulative counts.
+  EXPECT_EQ(buckets->at(0).find("count")->asInt(), 1);
+  EXPECT_EQ(buckets->at(1).find("count")->asInt(), 2);
+  EXPECT_EQ(buckets->at(2).find("count")->asInt(), 3);
+  EXPECT_EQ(buckets->at(2).find("le")->asString(), "+Inf");
+}
+
+TEST(RegistryTest, PrometheusExpositionFormat) {
+  obs::Registry reg;
+  reg.counter("test_total", "a counter").inc(3);
+  reg.gauge("test_gauge", "a gauge").set(1.5);
+  obs::Histogram& h = reg.histogram("test_seconds", {0.1, 1.0}, "a histogram");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = reg.toPrometheus();
+  const auto has = [&](const std::string& needle) {
+    return text.find(needle) != std::string::npos;
+  };
+  EXPECT_TRUE(has("# HELP test_total a counter"));
+  EXPECT_TRUE(has("# TYPE test_total counter"));
+  EXPECT_TRUE(has("test_total 3\n"));
+  EXPECT_TRUE(has("# TYPE test_gauge gauge"));
+  EXPECT_TRUE(has("test_gauge 1.5\n"));
+  EXPECT_TRUE(has("# TYPE test_seconds histogram"));
+  EXPECT_TRUE(has("test_seconds_bucket{le=\"0.1\"} 1\n"));
+  EXPECT_TRUE(has("test_seconds_bucket{le=\"1\"} 2\n"));
+  EXPECT_TRUE(has("test_seconds_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(has("test_seconds_count 3\n"));
+  EXPECT_TRUE(has("test_seconds_sum "));
+  // Every line is either a comment or `name{labels} value`.
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// trace_valid ctest driver: runs lampc with --trace-out on one
+// benchmark (mapping-aware MILP, simplify on, two solver threads — the
+// configuration that exercises all seven flow phases plus the parallel
+// B&B workers) and validates the emitted file is well-formed Chrome
+// trace-event JSON:
+//
+//   - the document parses and carries a traceEvents array,
+//   - every 'B' has a matching 'E' on the same tid (LIFO nesting),
+//   - timestamps are monotonic (non-decreasing) per tid,
+//   - all seven flow phases, the per-worker B&B spans and at least one
+//     incumbent instant event are present.
+//
+// Usage: trace_check <path-to-lampc>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+using lamp::util::Json;
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::cerr << "trace_check: FAIL: " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_check <path-to-lampc>\n";
+    return 2;
+  }
+  const std::string traceFile = "trace_valid.json";
+  const std::string cmd = std::string("\"") + argv[1] +
+                          "\" CLZ --method=map --simplify --threads=2"
+                          " --time-limit=10 --quiet --trace-out=" +
+                          traceFile;
+  std::cerr << "trace_check: running " << cmd << "\n";
+  if (std::system(cmd.c_str()) != 0) return fail("lampc run failed");
+
+  std::ifstream in(traceFile);
+  if (!in) return fail("lampc did not write " + traceFile);
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  std::string parseError;
+  const auto doc = Json::parse(ss.str(), &parseError);
+  if (!doc) return fail("trace is not valid JSON: " + parseError);
+  const Json* events = doc->isObject() ? doc->find("traceEvents") : nullptr;
+  if (events == nullptr || !events->isArray()) {
+    return fail("no traceEvents array");
+  }
+
+  std::map<std::int64_t, std::vector<std::string>> stacks;
+  std::map<std::int64_t, double> lastTs;
+  std::set<std::string> beginNames;
+  std::size_t workerSpans = 0, incumbents = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const Json* phField = e.find("ph");
+    if (phField == nullptr) return fail("event without ph");
+    const std::string ph = phField->asString();
+    if (ph == "M") continue;  // metadata carries no timeline timestamp
+    if (ph != "B" && ph != "E" && ph != "i") {
+      return fail("unexpected event phase '" + ph + "'");
+    }
+    const Json* tidField = e.find("tid");
+    const Json* tsField = e.find("ts");
+    if (tidField == nullptr || tsField == nullptr) {
+      return fail("timeline event without tid/ts");
+    }
+    const std::int64_t tid = tidField->asInt();
+    const double ts = tsField->asDouble();
+    if (lastTs.count(tid) != 0 && ts < lastTs[tid]) {
+      return fail("timestamps regress on tid " + std::to_string(tid));
+    }
+    lastTs[tid] = ts;
+    if (ph == "B") {
+      const std::string name = e.find("name")->asString();
+      beginNames.insert(name);
+      if (name == "bnb_worker") ++workerSpans;
+      stacks[tid].push_back(name);
+    } else if (ph == "E") {
+      if (stacks[tid].empty()) {
+        return fail("E without matching B on tid " + std::to_string(tid));
+      }
+      stacks[tid].pop_back();
+    } else if (e.find("name")->asString() == "incumbent") {
+      ++incumbents;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      return fail("unclosed span '" + stack.back() + "' on tid " +
+                  std::to_string(tid));
+    }
+  }
+
+  for (const char* phase : {"analyze", "dataflow", "simplify", "cut_enum",
+                            "milp_build", "milp_solve", "validate", "verify"}) {
+    if (beginNames.count(phase) == 0) {
+      return fail(std::string("missing flow phase span '") + phase + "'");
+    }
+  }
+  if (workerSpans < 2) return fail("expected >= 2 bnb_worker spans");
+  if (incumbents < 1) return fail("expected >= 1 incumbent instant");
+
+  std::cerr << "trace_check: OK (" << events->size() << " events, "
+            << workerSpans << " worker spans, " << incumbents
+            << " incumbents)\n";
+  return 0;
+}

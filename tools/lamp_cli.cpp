@@ -3,7 +3,12 @@
 // Client mode (talks to a running daemon over its Unix socket):
 //
 //   lamp-cli --socket=PATH [request options] <benchmark-name | file.lamp>
-//   lamp-cli --socket=PATH --stats
+//   lamp-cli --socket=PATH --stats [--format=json|prometheus]
+//
+//   --stats prints the daemon's metrics registry. The default format is
+//   the raw NDJSON response; --format=prometheus prints the Prometheus
+//   text exposition (decoded from the response's "prometheus" field),
+//   ready to pipe into a node_exporter textfile or promtool.
 //
 //   request options: --method=hls|base|map --ii=N --tcp=NS --alpha=A
 //   --beta=B --k=K --time-limit=SEC --deadline-ms=MS --paper-scale
@@ -54,6 +59,7 @@ struct Args {
   std::string cacheDir;
   int workers = 0;
   bool stats = false;
+  std::string statsFormat;  // "", "json" or "prometheus"
 
   // Request options (client mode).
   std::string input;
@@ -90,6 +96,12 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.workers = std::stoi(valueOf(s));
     } else if (s == "--stats") {
       a.stats = true;
+    } else if (s.rfind("--format=", 0) == 0) {
+      a.statsFormat = valueOf(s);
+      if (a.statsFormat != "json" && a.statsFormat != "prometheus") {
+        err = "--format must be json or prometheus";
+        return false;
+      }
     } else if (s.rfind("--id=", 0) == 0) {
       a.id = valueOf(s);
     } else if (s.rfind("--method=", 0) == 0) {
@@ -135,6 +147,10 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
     err = "no input; pass a benchmark name or a .lamp graph file";
     return false;
   }
+  if (!a.statsFormat.empty() && !a.stats) {
+    err = "--format is only valid with --stats";
+    return false;
+  }
   return true;
 }
 
@@ -143,6 +159,9 @@ std::string buildRequest(const Args& a, std::string& err) {
   req.set("id", Json::string(a.id));
   if (a.stats) {
     req.set("cmd", Json::string("stats"));
+    if (!a.statsFormat.empty()) {
+      req.set("format", Json::string(a.statsFormat));
+    }
     return req.dump();
   }
   // A readable file is an inline graph; anything else is assumed to be a
@@ -187,12 +206,20 @@ int clientMode(const Args& a) {
     std::cerr << "lamp-cli: daemon hung up\n";
     return 1;
   }
-  std::cout << response << "\n";
   const auto doc = Json::parse(response);
-  return doc && doc->isObject() && doc->find("ok") != nullptr &&
-                 doc->find("ok")->asBool()
-             ? 0
-             : 1;
+  const bool responseOk = doc && doc->isObject() &&
+                          doc->find("ok") != nullptr &&
+                          doc->find("ok")->asBool();
+  // Prometheus text rides the NDJSON protocol as one string field;
+  // unwrap it so the output is directly scrapeable.
+  const Json* prom =
+      responseOk && doc->isObject() ? doc->find("prometheus") : nullptr;
+  if (a.statsFormat == "prometheus" && prom != nullptr && prom->isString()) {
+    std::cout << prom->asString();
+  } else {
+    std::cout << response << "\n";
+  }
+  return responseOk ? 0 : 1;
 }
 
 // --- replay mode -------------------------------------------------------------

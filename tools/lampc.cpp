@@ -22,6 +22,10 @@
 //   --emit-json[=FILE]     print the flow result as JSON (same serializer
 //                          as the lampd service protocol)
 //   --emit-schedule        print the per-node schedule
+//   --trace-out=FILE       enable the span tracer for the whole run and
+//                          write a Chrome trace-event JSON file on exit
+//                          (open in Perfetto or chrome://tracing);
+//                          LAMP_TRACE=1 enables tracing without a file
 //   --export=FILE          write the (possibly folded) graph as .lamp text
 //   --fold                 run constant folding before scheduling
 //   --simplify             rewrite the graph with bit-level-analysis-proven
@@ -52,6 +56,7 @@
 #include "ir/passes.h"
 #include "lp/model.h"
 #include "map/area.h"
+#include "obs/trace.h"
 #include "rtl/verilog.h"
 #include "sim/vcd.h"
 #include "sched/greedy.h"
@@ -73,6 +78,7 @@ struct Args {
   std::optional<std::string> emitVerilog, emitDot, emitLp, emitVcd, emitJson;
   std::optional<std::string> emitAnalysis;
   std::optional<std::string> exportGraph;
+  std::string traceOut;
   bool emitSchedule = false;
   bool fold = false;
   bool simplify = false;
@@ -121,6 +127,12 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.emitAnalysis = valueOf(s);
     } else if (s == "--emit-schedule") {
       a.emitSchedule = true;
+    } else if (s.rfind("--trace-out=", 0) == 0) {
+      a.traceOut = valueOf(s);
+      if (a.traceOut.empty()) {
+        err = "--trace-out needs a file path";
+        return false;
+      }
     } else if (s == "--fold") {
       a.fold = true;
     } else if (s == "--simplify") {
@@ -172,6 +184,21 @@ std::optional<workloads::Benchmark> loadInput(const Args& a,
   return workloads::benchmarkFromGraph(std::move(*g), a.input);
 }
 
+/// Writes the Chrome trace on every exit path (including early errors),
+/// so a failed run still leaves its partial trace behind.
+struct TraceDump {
+  std::string path;
+  ~TraceDump() {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (out) {
+      obs::writeChromeTrace(out);
+    } else {
+      std::cerr << "lampc: cannot write trace to '" << path << "'\n";
+    }
+  }
+};
+
 void writeTo(const std::optional<std::string>& path,
              const std::function<void(std::ostream&)>& fn) {
   if (path.has_value() && !path->empty()) {
@@ -191,6 +218,10 @@ int main(int argc, char** argv) {
     std::cerr << "lampc: " << err << "\n";
     return 1;
   }
+  TraceDump traceDump{a.traceOut};
+  if (!a.traceOut.empty()) obs::setTraceEnabled(true);
+  if (obs::traceEnabled()) obs::setThreadName("lampc-main");
+
   auto bm = loadInput(a, err);
   if (!bm) {
     std::cerr << "lampc: " << err << "\n";

@@ -10,6 +10,11 @@
 //                        excess requests are rejected with "overloaded"
 //   --max-time-limit=S   clamp per-request solver time limits (default 300)
 //   --no-cache           disable the solution cache entirely
+//   --trace-dir=DIR      enable span tracing; on shutdown write a Chrome
+//                        trace-event file lampd-trace-<pid>.json into DIR
+//   --log-json           emit one structured NDJSON log line per request
+//                        to stderr (request id, cache state, queue wait,
+//                        deadline slack)
 //   --quiet              suppress the startup banner
 //
 // Protocol: newline-delimited JSON (see src/svc/proto.h). Exit code 0 on
@@ -17,9 +22,14 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "svc/server.h"
 
 using namespace lamp;
@@ -32,11 +42,31 @@ void onSignal(int) {
   if (g_server != nullptr) g_server->requestStop();
 }
 
+/// Writes the accumulated Chrome trace into `dir` at daemon shutdown.
+/// The file name carries the pid so repeated runs never clobber each
+/// other's traces.
+struct TraceDump {
+  std::string dir;
+  ~TraceDump() {
+    if (dir.empty()) return;
+    const std::string path =
+        dir + "/lampd-trace-" + std::to_string(::getpid()) + ".json";
+    std::ofstream out(path);
+    if (out) {
+      obs::writeChromeTrace(out);
+    } else {
+      std::cerr << "lampd: cannot write trace to '" << path << "'\n";
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   svc::ServiceOptions opts;
   std::string socketPath;
+  std::string traceDir;
+  bool logJson = false;
   bool stdio = false;
   bool quiet = false;
 
@@ -60,6 +90,14 @@ int main(int argc, char** argv) {
       opts.maxTimeLimitSeconds = std::atof(valueOf(s).c_str());
     } else if (s == "--no-cache") {
       opts.cacheEnabled = false;
+    } else if (s.rfind("--trace-dir=", 0) == 0) {
+      traceDir = valueOf(s);
+      if (traceDir.empty()) {
+        std::cerr << "lampd: --trace-dir needs a directory path\n";
+        return 1;
+      }
+    } else if (s == "--log-json") {
+      logJson = true;
     } else if (s == "--quiet") {
       quiet = true;
     } else {
@@ -71,6 +109,11 @@ int main(int argc, char** argv) {
     std::cerr << "lampd: pass exactly one of --stdio or --socket=PATH\n";
     return 1;
   }
+
+  TraceDump traceDump{traceDir};
+  if (!traceDir.empty()) obs::setTraceEnabled(true);
+  if (obs::traceEnabled()) obs::setThreadName("lampd-main");
+  if (logJson) obs::setLogSink(&std::cerr);
 
   svc::Service service(opts);
   if (!quiet) {

@@ -34,8 +34,11 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 77
 fi
 
-# First-party translation units only — the compile database also lists
-# test binaries and generated sources we don't want to lint.
+# First-party translation units only — every src/ subsystem (util, obs,
+# ir, analyze, cut, lp, sched, map, sim, rtl, flow, svc, ...) plus
+# tools/; new subsystems are picked up automatically. The compile
+# database also lists test binaries and generated sources we don't want
+# to lint.
 FILES=$(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
 
 echo "run-tidy: $TIDY over $(echo "$FILES" | wc -l) files" \
