@@ -1,66 +1,198 @@
-// google-benchmark microbenchmarks for word-level cut enumeration:
-// scaling in graph size and in K (the paper notes enumeration is
-// exponential in K yet fast for the practical K <= 6).
+// Cut-enumeration engine microbench: every paper benchmark, enumerated
+// repeatedly per thread count, reporting median ms/iteration, cuts/sec,
+// memo hits and peak arena bytes. Writes BENCH_cutenum.json (see
+// bench_util.h for where) and, when a baseline file is present,
+// per-benchmark speedup against it plus the greedy mapping LUT cost so
+// regressions in either speed or mapping quality are visible.
+//
+// Extra knobs on top of bench_util.h:
+//   LAMP_BENCH_ITERS=<n>    timed iterations per (benchmark, threads)
+//   LAMP_BASELINE_JSON=F    baseline file (default:
+//                           bench/baseline_pr5_cutenum.json in the repo)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 
+#include "analyze/dataflow.h"
+#include "bench_util.h"
 #include "cut/cut.h"
-#include "gbench_main.h"
-#include "ir/builder.h"
+#include "sched/greedy.h"
+#include "util/json.h"
 
 using namespace lamp;
+using util::Json;
 
 namespace {
 
-ir::Graph xorTree(int leaves, int width) {
-  ir::GraphBuilder b("tree");
-  std::vector<ir::Value> layer;
-  for (int i = 0; i < leaves; ++i) {
-    layer.push_back(b.input("i" + std::to_string(i),
-                            static_cast<std::uint16_t>(width)));
+int envIters(int fallback) {
+  const char* s = std::getenv("LAMP_BENCH_ITERS");
+  const int n = s != nullptr ? std::atoi(s) : 0;
+  return n > 0 ? n : fallback;
+}
+
+/// Baseline entries committed by an earlier PR: median ms/iteration of
+/// its enumerator and the LUT cost of its greedy mapping-aware covering.
+struct Baseline {
+  double msPerIter = 0.0;
+  double greedyLutCost = -1.0;
+  bool valid = false;
+};
+
+Baseline baselineFor(const Json* doc, const std::string& name) {
+  Baseline b;
+  if (doc == nullptr) return b;
+  const Json* e = doc->find(name);
+  if (e == nullptr || !e->isObject()) return b;
+  const Json* ms = e->find("msPerIter");
+  if (ms == nullptr || !ms->isNumber()) return b;
+  b.msPerIter = ms->asDouble();
+  if (const Json* lc = e->find("greedyLutCost")) {
+    b.greedyLutCost = lc->asDouble(-1.0);
   }
-  while (layer.size() > 1) {
-    std::vector<ir::Value> next;
-    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
-      next.push_back(b.bxor(layer[i], layer[i + 1]));
+  b.valid = true;
+  return b;
+}
+
+/// LUT cost of the greedy mapping-aware covering at the smallest II the
+/// heuristic sustains — the "selected mapping" quality figure tracked
+/// against the baseline (the databases decide what the covering can
+/// pick, so a worse database shows up here even when the MILP would
+/// recover).
+double greedyLutCost(const workloads::Benchmark& bm,
+                     const cut::CutDatabase& db) {
+  sched::DelayModel delays;
+  sched::SdcOptions go;
+  go.resources = bm.resources;
+  for (go.ii = 1; go.ii <= 9; ++go.ii) {
+    const sched::SdcResult r =
+        sched::greedyMapSchedule(bm.graph, db, delays, go);
+    if (!r.success) continue;
+    double cost = 0.0;
+    for (ir::NodeId v = 0; v < bm.graph.size(); ++v) {
+      if (r.schedule.isRoot(v)) {
+        cost += db.at(v).cuts[r.schedule.selectedCut[v]].lutCost;
+      }
     }
-    if (layer.size() % 2) next.push_back(layer.back());
-    layer = std::move(next);
+    return cost;
   }
-  b.output(layer[0], "o");
-  return b.take();
+  return -1.0;
 }
 
-void BM_CutEnumTreeSize(benchmark::State& state) {
-  const ir::Graph g = xorTree(static_cast<int>(state.range(0)), 16);
-  cut::CutEnumOptions opts;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cut::enumerateCuts(g, opts).totalCuts);
-  }
-  state.SetComplexityN(state.range(0));
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
 }
-BENCHMARK(BM_CutEnumTreeSize)->RangeMultiplier(2)->Range(8, 128)->Complexity();
-
-void BM_CutEnumK(benchmark::State& state) {
-  const ir::Graph g = xorTree(64, 16);
-  cut::CutEnumOptions opts;
-  opts.k = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cut::enumerateCuts(g, opts).totalCuts);
-  }
-}
-BENCHMARK(BM_CutEnumK)->DenseRange(2, 6);
-
-void BM_TrivialCuts(benchmark::State& state) {
-  const ir::Graph g = xorTree(static_cast<int>(state.range(0)), 16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cut::trivialCuts(g).totalCuts);
-  }
-}
-BENCHMARK(BM_TrivialCuts)->Range(8, 128);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return lamp::bench::gbenchMain(argc, argv, "BENCH_cutenum.json");
+int main() {
+  const std::vector<workloads::Benchmark> benchmarks =
+      bench::selectedBenchmarks(bench::envScale());
+  const std::vector<int> threadCounts = bench::envThreadCounts({1, 8});
+  const int iters = envIters(25);
+  const bool csv = bench::envCsv();
+
+  std::optional<Json> baselineDoc;
+  {
+    std::string path = bench::outputPath("bench/baseline_pr5_cutenum.json");
+    if (const char* p = std::getenv("LAMP_BASELINE_JSON")) path = p;
+    if (std::ifstream in(path); in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      baselineDoc = Json::parse(ss.str());
+    }
+  }
+  const Json* base = baselineDoc ? &*baselineDoc : nullptr;
+
+  if (csv) {
+    std::cout << "benchmark,threads,nodes,totalCuts,msPerIter,cutsPerSec,"
+                 "memoHits,arenaPeakBytes,greedyLutCost,speedup\n";
+  } else {
+    std::cout << "Cut enumeration engine: " << benchmarks.size()
+              << " benchmarks x {";
+    for (std::size_t i = 0; i < threadCounts.size(); ++i) {
+      std::cout << (i ? "," : "") << threadCounts[i];
+    }
+    std::cout << "} threads, " << iters << " iterations each\n\n";
+  }
+
+  Json rows = Json::array();
+  for (const auto& bm : benchmarks) {
+    // Mapping quality is thread-independent (enumeration is
+    // bit-identical at every thread count): compute it once.
+    cut::CutEnumOptions qopts;
+    const double lutCost = greedyLutCost(bm, cut::enumerateCuts(bm.graph, qopts));
+    const Baseline b = baselineFor(base, bm.name);
+
+    for (const int threads : threadCounts) {
+      cut::CutEnumOptions opts;
+      opts.threads = threads;
+      cut::CutDatabase db = cut::enumerateCuts(bm.graph, opts);  // warm-up
+      std::vector<double> ms;
+      ms.reserve(static_cast<std::size_t>(iters));
+      for (int i = 0; i < iters; ++i) {
+        const util::Stopwatch sw;
+        db = cut::enumerateCuts(bm.graph, opts);
+        ms.push_back(sw.seconds() * 1e3);
+      }
+      const double msPerIter = median(std::move(ms));
+      const double cutsPerSec =
+          msPerIter > 0 ? static_cast<double>(db.totalCuts) / (msPerIter / 1e3)
+                        : 0.0;
+      const double speedup =
+          b.valid && msPerIter > 0 ? b.msPerIter / msPerIter : 0.0;
+
+      Json row = Json::object();
+      row.set("benchmark", Json::string(bm.name));
+      row.set("threads", Json::integer(threads));
+      row.set("threadsUsed", Json::integer(db.threadsUsed));
+      row.set("nodes", Json::integer(static_cast<std::int64_t>(bm.graph.size())));
+      row.set("totalCuts", Json::integer(static_cast<std::int64_t>(db.totalCuts)));
+      row.set("msPerIter", Json::number(msPerIter));
+      row.set("cutsPerSec", Json::number(cutsPerSec));
+      row.set("memoHits", Json::integer(static_cast<std::int64_t>(db.memoHits)));
+      row.set("nodesComputed",
+              Json::integer(static_cast<std::int64_t>(db.nodesComputed)));
+      row.set("arenaPeakBytes",
+              Json::integer(static_cast<std::int64_t>(db.arenaPeakBytes)));
+      row.set("greedyLutCost", Json::number(lutCost));
+      if (b.valid) {
+        row.set("baselineMsPerIter", Json::number(b.msPerIter));
+        row.set("speedup", Json::number(speedup));
+        if (b.greedyLutCost >= 0) {
+          row.set("baselineGreedyLutCost", Json::number(b.greedyLutCost));
+        }
+      }
+      rows.push(std::move(row));
+
+      if (csv) {
+        std::cout << bm.name << "," << threads << "," << bm.graph.size() << ","
+                  << db.totalCuts << "," << msPerIter << "," << cutsPerSec
+                  << "," << db.memoHits << "," << db.arenaPeakBytes << ","
+                  << lutCost << "," << speedup << "\n";
+      } else {
+        std::cout << "  " << bm.name << " t=" << threads << ": " << msPerIter
+                  << " ms/iter, " << cutsPerSec / 1e6 << " Mcuts/s, "
+                  << db.totalCuts << " cuts, memo " << db.memoHits
+                  << ", arena " << db.arenaPeakBytes << " B, greedy LUTs "
+                  << lutCost;
+        if (b.valid) std::cout << ", speedup " << speedup << "x";
+        std::cout << "\n";
+      }
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("bench", Json::string("cutenum"));
+  doc.set("iterations", Json::integer(iters));
+  doc.set("baselinePresent", Json::boolean(base != nullptr));
+  doc.set("rows", std::move(rows));
+  const std::string out = bench::outputPath("BENCH_cutenum.json");
+  std::ofstream os(out);
+  doc.write(os);
+  os << "\n";
+  if (!csv) std::cout << "\nWrote " << out << "\n";
+  return 0;
 }

@@ -9,8 +9,12 @@
 /// must depend on at most K boundary bits (tracked through the per-class
 /// DEP functions).
 
+#include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/graph.h"
@@ -78,10 +82,10 @@ struct Cut {
   bool isUnit = false;
 
   bool containsElement(ir::NodeId node, std::uint32_t dist) const {
-    for (const CutElement& e : elements) {
-      if (e.node == node && e.dist == dist) return true;
-    }
-    return false;
+    assert(std::is_sorted(elements.begin(), elements.end()) &&
+           "Cut::elements must stay sorted");
+    return std::binary_search(elements.begin(), elements.end(),
+                              CutElement{node, dist});
   }
 
   std::string str(const ir::Graph& g) const;
@@ -93,12 +97,47 @@ struct CutSet {
   std::vector<Cut> cuts;
 };
 
+/// Cut-ranking strategy: the ordering the prune/priority stage applies
+/// before capping to maxCutsPerNode. Strategies change which cuts
+/// survive the cap (and therefore the MILP's selection space), never
+/// feasibility — the unit/carry fallback is always kept.
+enum class CutStrategy : std::uint8_t {
+  DepthAware,  ///< deepest cones first (historical default ranking)
+  AreaMin,     ///< cheapest LUT cost first
+  SupportMin,  ///< smallest per-bit support first (routing pressure)
+  Balanced,    ///< blend: cost + boundary size - cone depth
+};
+
+/// Machine token ("depth" | "area" | "support" | "balanced") used by the
+/// CLI, option serialization and cache keys.
+std::string_view cutStrategyName(CutStrategy s);
+
+/// Parses a cutStrategyName() token; returns false on unknown input.
+bool parseCutStrategy(std::string_view token, CutStrategy& out);
+
+/// Every strategy in racing order. DepthAware comes first so cost ties
+/// resolve to the historical ranking.
+const std::array<CutStrategy, 4>& allCutStrategies();
+
 /// Options for word-level cut enumeration.
 struct CutEnumOptions {
   int k = 4;                ///< LUT input count (paper: K <= 6)
   int maxCutsPerNode = 8;   ///< priority cap after pruning
   int maxElements = 8;      ///< word-level boundary size cap
   int maxIterations = 1 << 22;  ///< worklist safety bound
+  /// Ranking applied by the prune/priority stage before the cap.
+  CutStrategy strategy = CutStrategy::DepthAware;
+  /// Worker threads for per-node enumeration (1 = serial, 0 = one per
+  /// hardware thread, capped). Requests beyond the machine's core count
+  /// are clamped — oversubscribing a compute-bound sweep only adds
+  /// barrier wakeups; CutDatabase::threadsUsed reports the effective
+  /// value. Negative counts are a testing hook: exactly -threads
+  /// workers, bypassing the clamp so the parallel path runs (and is
+  /// sanitizer-checked) even on single-core machines. Output is
+  /// bit-identical for every thread count: nodes are processed in
+  /// topological waves and each node's cut set depends only on
+  /// already-finalized fanin sets.
+  int threads = 1;
   /// Optional bit-level facts computed on the SAME graph being
   /// enumerated (analyze::analyzeDataflow + toBitFacts): output bits no
   /// observer demands are skipped entirely (no support, no LUT, no K
@@ -116,6 +155,16 @@ struct CutDatabase {
   std::size_t totalCuts = 0;
   std::size_t worklistVisits = 0;
   double wallSeconds = 0.0;
+  /// Worklist visits answered by the per-node memo (fanin cut-set
+  /// versions + facts digest unchanged) without recomputation.
+  std::size_t memoHits = 0;
+  /// Nodes whose cut sets were actually (re)computed.
+  std::size_t nodesComputed = 0;
+  /// Peak bytes live in the per-worker signature arenas (max over
+  /// workers; the arenas are bulk-reset per node).
+  std::size_t arenaPeakBytes = 0;
+  /// Effective worker count the enumeration ran with.
+  int threadsUsed = 1;
 
   const CutSet& at(ir::NodeId id) const { return cutsOf[id]; }
 };

@@ -1,12 +1,45 @@
+/// \file enumerate.cpp
+/// Word-level cut enumeration (Algorithm 1), rebuilt around
+/// performance-first data structures:
+///
+///  - Packed signatures: each candidate node first collects the universe
+///    of boundary bits any of its cuts could reference (direct fanin
+///    bits plus every support bit of every absorbable fanin cut), sorted
+///    by BitKey. Supports then live as fixed-width bitsets over that
+///    universe, so the per-bit hot loop of compose() is word-parallel
+///    OR + popcount instead of pairwise sorted-vector merges, and the
+///    per-(operand, cut, bit) signatures are translated into universe
+///    indices exactly once per node instead of once per candidate.
+///  - Arena allocation: signature tables come from per-worker
+///    util::Arena instances that are bulk-reset per node, so the steady
+///    state allocates nothing on the candidate path.
+///  - Memoization: each node's cut set carries a version; recomputation
+///    is keyed on (dist-0 fanin versions, facts digest). Worklist
+///    re-visits (back-edge consumers re-pushed when a producer changed)
+///    hit the memo and recompute nothing.
+///  - Parallel waves: cut sets depend only on dist-0 fanins (registers
+///    are cone boundaries), so nodes of equal topological level are
+///    independent and run concurrently on util::ThreadPool. Every node
+///    writes only its own set, so output is bit-identical for any
+///    thread count.
+///
+/// The default configuration (DepthAware strategy, serial) reproduces
+/// the historical enumeration bit for bit.
+
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <chrono>
-#include <deque>
 #include <sstream>
 
 #include "cut/cut.h"
 #include "cut/dep.h"
 #include "ir/passes.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/arena.h"
+#include "util/thread_pool.h"
 
 namespace lamp::cut {
 
@@ -17,13 +50,43 @@ using ir::NodeId;
 using ir::OpClass;
 using ir::OpKind;
 
+std::string_view cutStrategyName(CutStrategy s) {
+  switch (s) {
+    case CutStrategy::DepthAware: return "depth";
+    case CutStrategy::AreaMin: return "area";
+    case CutStrategy::SupportMin: return "support";
+    case CutStrategy::Balanced: return "balanced";
+  }
+  return "?";
+}
+
+bool parseCutStrategy(std::string_view token, CutStrategy& out) {
+  for (const CutStrategy s : allCutStrategies()) {
+    if (token == cutStrategyName(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::array<CutStrategy, 4>& allCutStrategies() {
+  static const std::array<CutStrategy, 4> all = {
+      CutStrategy::DepthAware, CutStrategy::AreaMin, CutStrategy::SupportMin,
+      CutStrategy::Balanced};
+  return all;
+}
+
 namespace {
 
+/// Minimum candidate count before the packed-signature path is worth
+/// its per-node setup; below it the merge path wins (see candidates()).
+constexpr std::size_t kPackedMinCandidates = 64;
+
 /// Sorted-set union dst ∪= add, merging into `scratch` (a reusable buffer
-/// that keeps its capacity across calls, so the per-bit hot loop of
-/// compose() stops allocating). Abandons the merge and returns false the
-/// moment the union exceeds `cap` elements — a doomed bit need not finish
-/// merging. `cap < 0` disables the limit.
+/// that keeps its capacity across calls). Abandons the merge and returns
+/// false the moment the union exceeds `cap` elements — a doomed bit need
+/// not finish merging. `cap < 0` disables the limit.
 bool unionIntoCapped(SupportSet& dst, const SupportSet& add,
                      SupportSet& scratch, int cap) {
   if (add.empty()) {
@@ -99,9 +162,115 @@ Cut makePortCut(const Graph& g, NodeId id, CutKind kind) {
   return cut;
 }
 
-/// Per-operand expansion choice: nullptr == treat the fanin as a boundary
-/// (its trivial cut); otherwise absorb the fanin through the given cut.
-using Choice = const Cut*;
+/// 64-bit fingerprint of one boundary element; the OR over a cut's
+/// elements gives a Bloom-style signature whose word test
+/// (a & ~b) == 0 is a necessary condition for "a's elements are a
+/// subset of b's" — a one-word reject before the exact check.
+std::uint64_t elementFingerprint(const CutElement& e) {
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(e.node) * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(e.dist) * 0xC2B2AE3D27D4EB4Full);
+  return 1ull << (h >> 58);
+}
+
+std::uint64_t cutFingerprint(const Cut& c) {
+  std::uint64_t fp = 0;
+  for (const CutElement& e : c.elements) fp |= elementFingerprint(e);
+  return fp;
+}
+
+/// Strict weak order applied by the priority stage before the cap.
+/// DepthAware reproduces the historical ranking bit for bit.
+bool strategyBefore(CutStrategy s, const Cut& a, const Cut& b) {
+  switch (s) {
+    case CutStrategy::DepthAware:
+      if (a.coneNodes.size() != b.coneNodes.size()) {
+        return a.coneNodes.size() > b.coneNodes.size();
+      }
+      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
+      return a.elements.size() < b.elements.size();
+    case CutStrategy::AreaMin:
+      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
+      if (a.coneNodes.size() != b.coneNodes.size()) {
+        return a.coneNodes.size() > b.coneNodes.size();
+      }
+      return a.elements.size() < b.elements.size();
+    case CutStrategy::SupportMin:
+      if (a.maxSupport != b.maxSupport) return a.maxSupport < b.maxSupport;
+      if (a.elements.size() != b.elements.size()) {
+        return a.elements.size() < b.elements.size();
+      }
+      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
+      return a.coneNodes.size() > b.coneNodes.size();
+    case CutStrategy::Balanced: {
+      // Cost and boundary pressure balanced against absorbed depth.
+      const long sa = 2L * a.lutCost + static_cast<long>(a.elements.size()) -
+                      2L * static_cast<long>(a.coneNodes.size());
+      const long sb = 2L * b.lutCost + static_cast<long>(b.elements.size()) -
+                      2L * static_cast<long>(b.coneNodes.size());
+      if (sa != sb) return sa < sb;
+      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
+      return a.coneNodes.size() > b.coneNodes.size();
+    }
+  }
+  return false;
+}
+
+/// Per-operand expansion choice: index 0 == treat the fanin as a boundary
+/// (its trivial cut); otherwise absorb the fanin through cut index-1.
+struct SlotOptions {
+  std::vector<const Cut*> cuts;  ///< cuts[0] == nullptr (boundary)
+};
+
+/// Per-worker scratch: one signature arena plus reusable buffers. All
+/// vectors keep their capacity across nodes, so the steady state
+/// allocates only when a node outgrows every earlier one.
+struct Workspace {
+  util::Arena arena;  ///< per-node signature tables, bulk-reset per node
+
+  std::vector<BitKey> universe;        ///< sorted boundary-bit universe
+  std::vector<std::uint32_t> elemOf;   ///< universe index -> element index
+  std::vector<CutElement> elems;       ///< element universe, sorted
+  std::vector<std::vector<DepBit>> deps;  ///< per costed output bit
+  std::vector<bool> identity;          ///< per output bit identity flag
+  std::vector<std::uint64_t> bitSigs;  ///< per-bit union signatures
+  std::vector<std::uint8_t> wireFlags; ///< per-bit wire flag
+  std::vector<int> supCount;           ///< per-bit support popcount
+  std::vector<std::uint64_t> unionSig; ///< all-bits union signature
+  std::vector<Cut> result;             ///< candidate accumulator
+
+  // Per-node scratch sized to the operand count; kept here so their
+  // heap capacity survives across nodes (a node allocates only when it
+  // outgrows every earlier one).
+  std::vector<SlotOptions> options;            ///< per slot: choices
+  std::vector<std::size_t> slotOf;             ///< operand -> owning slot
+  std::vector<std::vector<std::uint16_t>> refBits;  ///< per slot, sorted
+  std::vector<std::vector<std::uint32_t>> refPos;   ///< operand bit -> index
+  std::vector<std::array<std::uint64_t, 4>> slotMask;  ///< referenced bits
+  std::vector<std::uint64_t*> sigOf;           ///< per slot signature table
+  std::vector<std::uint8_t*> wireOf;           ///< per slot wire table
+  std::vector<std::size_t> idx;                ///< mixed-radix counter
+  std::vector<const Cut*> choices;             ///< per operand (merge path)
+  SupportSet scratch;                          ///< merge buffer (merge path)
+
+  void prepare(std::size_t p) {
+    if (options.size() < p) {
+      options.resize(p);
+      slotOf.resize(p);
+      refBits.resize(p);
+      refPos.resize(p);
+      slotMask.resize(p);
+      sigOf.resize(p);
+      wireOf.resize(p);
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      options[i].cuts.clear();
+      slotMask[i] = {};
+      sigOf[i] = nullptr;
+      wireOf[i] = nullptr;
+    }
+  }
+};
 
 struct Enumerator {
   const Graph& g;
@@ -109,70 +278,461 @@ struct Enumerator {
   /// Bit-level facts for masking, dropped when they do not index this
   /// graph (rebuilt stage graphs re-enumerate without facts).
   const ir::BitFacts* facts;
+  std::uint64_t factsDigest = 0;
   std::vector<CutSet> cutsOf;
-  std::size_t visits = 0;
-  /// Merge buffer reused by every unionIntoCapped call in compose(); its
-  /// capacity survives across bits and nodes, so the hot loop allocates
-  /// only when a support outgrows every earlier one.
-  mutable SupportSet scratch;
+
+  /// Memoization state: version[v] bumps whenever cutsOf[v] changes;
+  /// memoKey[v] hashes (facts digest, dist-0 fanin versions) at the
+  /// last computation. A re-visit whose key matches skips recomputation
+  /// entirely. Registers are cone boundaries, so dist > 0 fanins are
+  /// deliberately NOT part of the key — their cut sets never influence
+  /// this node's candidates.
+  std::vector<std::uint64_t> version;
+  std::vector<std::uint64_t> memoKey;
+
+  std::atomic<std::size_t> visits{0};
+  std::atomic<std::size_t> memoHits{0};
+  std::atomic<std::size_t> computed{0};
 
   explicit Enumerator(const Graph& graph, const CutEnumOptions& options)
       : g(graph), opts(options),
         facts(options.facts != nullptr && options.facts->compatibleWith(graph)
                   ? options.facts
                   : nullptr),
-        cutsOf(graph.size()) {}
+        cutsOf(graph.size()), version(graph.size(), 0),
+        memoKey(graph.size(), 0) {
+    if (facts != nullptr) factsDigest = digestFacts(*facts);
+  }
 
-  /// Builds the candidate cut of `v` for a fixed combination of choices
-  /// (one per operand). Returns false if K/element limits are violated.
-  bool compose(NodeId v, const std::vector<Choice>& choice, Cut& out) const {
+  static std::uint64_t digestFacts(const ir::BitFacts& f) {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    const auto mix = [&h](const std::vector<std::uint64_t>& v) {
+      for (const std::uint64_t x : v) {
+        h ^= x;
+        h *= 0x100000001B3ull;
+      }
+    };
+    mix(f.knownMask);
+    mix(f.knownVal);
+    mix(f.demanded);
+    mix(f.live);
+    mix(f.lo);
+    mix(f.hi);
+    return h | 1;  // never 0: 0 means "no facts"
+  }
+
+  /// Memo key of node v under the current fanin cut-set versions.
+  std::uint64_t nodeKey(NodeId v) const {
+    std::uint64_t h = 0xCBF29CE484222325ull ^ factsDigest;
+    for (const Edge& e : g.node(v).operands) {
+      if (e.dist != 0) continue;
+      h ^= e.src;
+      h *= 0x100000001B3ull;
+      h ^= version[e.src];
+      h *= 0x100000001B3ull;
+    }
+    return h | 1;  // never 0: 0 means "never computed"
+  }
+
+  // --- packed-signature candidate enumeration ------------------------------
+
+  /// Builds every candidate cut of one LUT-mappable node from the
+  /// current cut sets of its fanins. `unitOnly` restricts the expansion
+  /// to the unit cut (the trivialCuts() path).
+  void candidates(NodeId v, Workspace& ws, bool unitOnly) {
     const Node& n = g.node(v);
-    out = Cut{};
-    out.kind = CutKind::Lut;
-    out.coneNodes = {v};
-    out.isUnit = true;
-    out.bitSupport.resize(n.width);
-    out.bitIsWire.assign(n.width, false);
+    const std::size_t p = n.operands.size();
+    ws.result.clear();
 
-    for (std::size_t i = 0; i < n.operands.size(); ++i) {
-      if (choice[i] != nullptr) {
-        out.isUnit = false;
-        for (const NodeId cn : choice[i]->coneNodes) {
-          insertSorted(out.coneNodes, cn);
+    // Absorbable cuts per operand. Operands referencing the same
+    // (node, dist) share one choice slot for consistency.
+    ws.prepare(p);
+    std::vector<SlotOptions>& options = ws.options;
+    std::vector<std::size_t>& slotOf = ws.slotOf;
+    for (std::size_t i = 0; i < p; ++i) {
+      slotOf[i] = i;
+      for (std::size_t h = 0; h < i; ++h) {
+        if (n.operands[h].src == n.operands[i].src &&
+            n.operands[h].dist == n.operands[i].dist) {
+          slotOf[i] = h;
+          break;
         }
+      }
+      if (slotOf[i] != i) continue;
+      options[i].cuts.push_back(nullptr);  // boundary
+      if (unitOnly) continue;
+      const Edge& e = n.operands[i];
+      if (e.dist != 0) continue;  // never expand through a register
+      if (!ir::isLutMappable(g.node(e.src).kind)) continue;
+      for (const Cut& c : cutsOf[e.src].cuts) {
+        if (c.kind == CutKind::Lut) options[i].cuts.push_back(&c);
       }
     }
 
     // Costed bits: demanded by some observer and not analysis-known.
     // Undemanded bits need no logic at all; known bits hard-wire into
     // the LUT mask. Skipped bits keep empty supports (never a wire), so
-    // they cost nothing and never constrain K. The backward demanded
-    // pass propagates through the same per-kind structure, so absorbed
-    // producer cuts always carry the supports consumers read.
+    // they cost nothing and never constrain K.
     std::uint64_t costed = ~0ull;
     if (facts != nullptr) {
       costed = facts->demandedOf(g, v) & ~facts->knownMask[v];
     }
+    // DEP sets and identity flags are per-node facts — computed once
+    // here, not once per candidate.
+    if (ws.deps.size() < n.width) ws.deps.resize(n.width);
+    ws.identity.assign(n.width, false);
     for (std::uint16_t j = 0; j < n.width; ++j) {
+      ws.deps[j].clear();
       if (j < 64 && ((costed >> j) & 1) == 0) continue;
-      const auto deps = depBits(g, v, j, facts);
-      // Routed or neutral-masked bits (shift class, AND with 1, OR/XOR
-      // with 0) are wires unless an absorbed source bit adds logic.
-      bool wireBit = isIdentityBit(g, v, j, facts) && deps.size() <= 1;
-      for (const DepBit& d : deps) {
+      ws.deps[j] = depBits(g, v, j, facts);
+      ws.identity[j] = isIdentityBit(g, v, j, facts);
+    }
+
+    // Hybrid dispatch: the packed-signature machinery pays a per-node
+    // setup (universe sort + signature translation) that only amortizes
+    // when the candidate space dwarfs it. Small cones take the direct
+    // merge path instead — both paths produce identical cuts, so the
+    // choice is invisible downstream (and deterministic: it depends only
+    // on the graph). The first gate (candidate product) needs no DEP
+    // walk, so the common small-cone case dispatches to the merge path
+    // without touching the per-bit dependency sets at all.
+    std::size_t cand = 1;
+    for (std::size_t s = 0; s < p; ++s) {
+      if (slotOf[s] != s) continue;
+      if (cand < (std::size_t{1} << 20)) cand *= options[s].cuts.size();
+    }
+    if (cand < kPackedMinCandidates) {
+      enumerateMerge(v, costed, ws);
+      finishCandidates(v, ws);
+      return;
+    }
+
+    // Referenced operand bits per slot, deduplicated into 256-bit masks
+    // (BitKey bit indices are 8-bit): arith DEP sets reference low
+    // operand bits from every higher output bit, so walking raw
+    // (output bit, dep) pairs would touch the same operand bit O(width)
+    // times.
+    std::vector<std::array<std::uint64_t, 4>>& slotMask = ws.slotMask;
+    for (std::size_t s = 0; s < p; ++s) slotMask[s] = {};
+    for (std::uint16_t j = 0; j < n.width; ++j) {
+      for (const DepBit& d : ws.deps[j]) {
+        slotMask[slotOf[d.operandIndex]][(d.bit >> 6) & 3] |=
+            1ull << (d.bit & 63);
+      }
+    }
+    std::size_t tableEntries = 0;
+    for (std::size_t s = 0; s < p; ++s) {
+      if (slotOf[s] != s) continue;
+      std::size_t uniqueBits = 0;
+      for (const std::uint64_t m : slotMask[s]) uniqueBits += std::popcount(m);
+      tableEntries += options[s].cuts.size() * uniqueBits;
+    }
+    if (cand < 2 * tableEntries) {
+      enumerateMerge(v, costed, ws);
+      finishCandidates(v, ws);
+      return;
+    }
+
+    // Packed path from here on: materialize the sorted unique referenced
+    // bits of each slot from its mask (ascending scan, so already
+    // sorted).
+    std::vector<std::vector<std::uint16_t>>& refBits = ws.refBits;
+    std::vector<std::vector<std::uint32_t>>& refPos = ws.refPos;
+    for (std::size_t s = 0; s < p; ++s) {
+      refBits[s].clear();
+      if (slotOf[s] != s) continue;
+      for (std::size_t w = 0; w < 4; ++w) {
+        std::uint64_t m = slotMask[s][w];
+        while (m != 0) {
+          refBits[s].push_back(
+              static_cast<std::uint16_t>(w * 64 + std::countr_zero(m)));
+          m &= m - 1;
+        }
+      }
+    }
+
+    // Boundary-bit universe: every BitKey any candidate of v could
+    // reference — the direct fanin bit of each referenced operand bit
+    // plus every support bit of every absorbable fanin cut.
+    ws.universe.clear();
+    for (std::size_t s = 0; s < p; ++s) {
+      if (slotOf[s] != s) continue;
+      const Edge& e = n.operands[s];
+      for (const std::uint16_t b : refBits[s]) {
+        ws.universe.push_back(makeBitKey(e.src, e.dist, b));
+        for (const Cut* c : options[s].cuts) {
+          if (c == nullptr) continue;
+          const SupportSet& sup = c->bitSupport[b];
+          ws.universe.insert(ws.universe.end(), sup.begin(), sup.end());
+        }
+      }
+    }
+    std::sort(ws.universe.begin(), ws.universe.end());
+    ws.universe.erase(std::unique(ws.universe.begin(), ws.universe.end()),
+                      ws.universe.end());
+    const std::size_t uBits = ws.universe.size();
+    const std::size_t words = (uBits + 63) / 64;
+
+    // Element universe: distinct (node, dist) pairs, in BitKey order
+    // (node-major, so already CutElement-sorted).
+    ws.elemOf.resize(uBits);
+    ws.elems.clear();
+    for (std::size_t u = 0; u < uBits; ++u) {
+      const CutElement e{bitKeyNode(ws.universe[u]),
+                         bitKeyDist(ws.universe[u])};
+      if (ws.elems.empty() || ws.elems.back() != e) ws.elems.push_back(e);
+      ws.elemOf[u] = static_cast<std::uint32_t>(ws.elems.size() - 1);
+    }
+
+    const auto universeIndex = [&](BitKey key) {
+      return static_cast<std::size_t>(
+          std::lower_bound(ws.universe.begin(), ws.universe.end(), key) -
+          ws.universe.begin());
+    };
+
+    // Signature tables, translated once per node: for each slot, option
+    // and referenced operand bit, the packed universe signature of that
+    // choice's contribution plus its wire flag (boundary contributions
+    // and absorbed wire bits never turn a routed bit into a LUT).
+    std::vector<std::uint64_t*>& sigOf = ws.sigOf;
+    std::vector<std::uint8_t*>& wireOf = ws.wireOf;
+    for (std::size_t s = 0; s < p; ++s) {
+      if (slotOf[s] != s || refBits[s].empty()) continue;
+      const std::size_t srcWidth = g.node(n.operands[s].src).width;
+      refPos[s].assign(srcWidth, 0);
+      for (std::size_t t = 0; t < refBits[s].size(); ++t) {
+        refPos[s][refBits[s][t]] = static_cast<std::uint32_t>(t);
+      }
+      const std::size_t nOpt = options[s].cuts.size();
+      const std::size_t nBit = refBits[s].size();
+      sigOf[s] = ws.arena.allocateZeroed<std::uint64_t>(nOpt * nBit * words);
+      wireOf[s] = ws.arena.allocate<std::uint8_t>(nOpt * nBit);
+      for (std::size_t oi = 0; oi < nOpt; ++oi) {
+        const Cut* c = options[s].cuts[oi];
+        for (std::size_t t = 0; t < nBit; ++t) {
+          std::uint64_t* sig = sigOf[s] + (oi * nBit + t) * words;
+          const std::uint16_t b = refBits[s][t];
+          if (c == nullptr) {
+            const Edge& e = n.operands[s];
+            const std::size_t u = universeIndex(makeBitKey(e.src, e.dist, b));
+            sig[u / 64] |= 1ull << (u % 64);
+            wireOf[s][oi * nBit + t] = 1;
+          } else {
+            for (const BitKey key : c->bitSupport[b]) {
+              const std::size_t u = universeIndex(key);
+              sig[u / 64] |= 1ull << (u % 64);
+            }
+            wireOf[s][oi * nBit + t] = c->bitIsWire[b] ? 1 : 0;
+          }
+        }
+      }
+    }
+
+    ws.bitSigs.resize(static_cast<std::size_t>(n.width) * words);
+    ws.wireFlags.resize(n.width);
+    ws.supCount.resize(n.width);
+    ws.unionSig.resize(words);
+
+    // Feasibility pass for the current option indices: pure word ops
+    // over the signature tables, touching no heap at all. Returns false
+    // the moment a bit's support popcount exceeds K or the boundary
+    // exceeds maxElements — the common case for deep candidates, which
+    // therefore costs zero allocations.
+    const auto feasible = [&](const std::vector<std::size_t>& idx) {
+      std::fill(ws.unionSig.begin(), ws.unionSig.end(), 0);
+      for (std::uint16_t j = 0; j < n.width; ++j) {
+        if (j < 64 && ((costed >> j) & 1) == 0) {
+          ws.supCount[j] = -1;  // skipped bit: empty support, never a wire
+          continue;
+        }
+        std::uint64_t* acc = ws.bitSigs.data() + std::size_t(j) * words;
+        std::fill(acc, acc + words, 0);
+        bool wireBit = ws.identity[j] && ws.deps[j].size() <= 1;
+        for (const DepBit& d : ws.deps[j]) {
+          const std::size_t s = slotOf[d.operandIndex];
+          const std::size_t nBit = refBits[s].size();
+          const std::size_t t = refPos[s][d.bit];
+          const std::uint64_t* sig = sigOf[s] + (idx[s] * nBit + t) * words;
+          for (std::size_t w = 0; w < words; ++w) acc[w] |= sig[w];
+          if (idx[s] != 0 && wireOf[s][idx[s] * nBit + t] == 0) {
+            wireBit = false;
+          }
+        }
+        int sup = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+          sup += std::popcount(acc[w]);
+          ws.unionSig[w] |= acc[w];
+        }
+        if (sup > opts.k) return false;  // support exceeds K: infeasible
+        ws.supCount[j] = sup;
+        ws.wireFlags[j] = wireBit ? 1 : 0;
+      }
+      // Boundary element count from the union signature; same-element
+      // universe bits are contiguous, so counting is a running compare.
+      int elems = 0;
+      std::uint32_t lastElem = ~0u;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t m = ws.unionSig[w];
+        while (m != 0) {
+          const std::size_t u = w * 64 + std::countr_zero(m);
+          m &= m - 1;
+          if (ws.elemOf[u] != lastElem) {
+            lastElem = ws.elemOf[u];
+            if (++elems > opts.maxElements) return false;
+          }
+        }
+      }
+      return true;
+    };
+
+    // Materializes the feasibility pass's candidate into a Cut — only
+    // ever called for feasible candidates, so every allocation here
+    // lands in a kept cut.
+    const auto materialize = [&](const std::vector<std::size_t>& idx,
+                                 Cut& out) {
+      out.kind = CutKind::Lut;
+      out.coneNodes = {v};
+      out.isUnit = true;
+      out.bitSupport.resize(n.width);
+      out.bitIsWire.assign(n.width, false);
+      for (std::size_t i = 0; i < p; ++i) {
+        if (slotOf[i] != i || idx[i] == 0) continue;
+        out.isUnit = false;
+        for (const NodeId cn : options[i].cuts[idx[i]]->coneNodes) {
+          insertSorted(out.coneNodes, cn);
+        }
+      }
+      for (std::uint16_t j = 0; j < n.width; ++j) {
+        if (ws.supCount[j] < 0) continue;  // skipped bit
+        const int sup = ws.supCount[j];
+        const bool wireBit = ws.wireFlags[j] != 0;
+        out.bitIsWire[j] = wireBit;
+        out.maxSupport = std::max(out.maxSupport, sup);
+        if (sup > 0 && !wireBit) ++out.lutCost;
+        // The universe is BitKey-sorted, so ascending set bits emit the
+        // sorted support directly.
+        const std::uint64_t* acc = ws.bitSigs.data() + std::size_t(j) * words;
+        SupportSet& supSet = out.bitSupport[j];
+        supSet.reserve(sup);
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t m = acc[w];
+          while (m != 0) {
+            const std::size_t u = w * 64 + std::countr_zero(m);
+            m &= m - 1;
+            supSet.push_back(ws.universe[u]);
+          }
+        }
+      }
+      std::uint32_t lastElem = ~0u;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t m = ws.unionSig[w];
+        while (m != 0) {
+          const std::size_t u = w * 64 + std::countr_zero(m);
+          m &= m - 1;
+          if (ws.elemOf[u] != lastElem) {
+            lastElem = ws.elemOf[u];
+            out.elements.push_back(ws.elems[lastElem]);
+          }
+        }
+      }
+    };
+
+    // Mixed-radix counter over the real slots — identical visit order
+    // to the historical pairwise enumeration.
+    ws.idx.assign(p, 0);
+    std::vector<std::size_t>& idx = ws.idx;
+    while (true) {
+      if (feasible(idx)) {
+        ws.result.emplace_back();
+        materialize(idx, ws.result.back());
+      }
+
+      std::size_t i = 0;
+      for (; i < p; ++i) {
+        if (slotOf[i] != i) continue;
+        if (++idx[i] < options[i].cuts.size()) break;
+        idx[i] = 0;
+      }
+      if (i == p) break;
+    }
+
+    finishCandidates(v, ws);
+  }
+
+  /// Shared candidate tail: carry fallback when the unit cut was
+  /// K-infeasible for wide arithmetic, then the prune/priority stage.
+  void finishCandidates(NodeId v, Workspace& ws) const {
+    const bool hasUnit =
+        std::any_of(ws.result.begin(), ws.result.end(),
+                    [](const Cut& c) { return c.isUnit; });
+    if (!hasUnit && ir::opClass(g.node(v).kind) == OpClass::Arith) {
+      ws.result.push_back(makeCarryCut(g, v));
+    }
+    prune(ws.result);
+  }
+
+  /// Direct merge enumeration for small cones: per-candidate sorted-set
+  /// unions (with the per-node DEP/identity precompute shared with the
+  /// packed path). Identical output to the packed path.
+  void enumerateMerge(NodeId v, std::uint64_t costed, Workspace& ws) const {
+    const Node& n = g.node(v);
+    const std::size_t p = n.operands.size();
+    ws.idx.assign(p, 0);
+    if (ws.choices.size() < p) ws.choices.resize(p);
+    while (true) {
+      for (std::size_t i = 0; i < p; ++i) {
+        ws.choices[i] = ws.options[ws.slotOf[i]].cuts[ws.idx[ws.slotOf[i]]];
+      }
+      Cut cut;
+      if (composeMerge(v, costed, ws, cut)) {
+        ws.result.push_back(std::move(cut));
+      }
+      std::size_t i = 0;
+      for (; i < p; ++i) {
+        if (ws.slotOf[i] != i) continue;
+        if (++ws.idx[i] < ws.options[i].cuts.size()) break;
+        ws.idx[i] = 0;
+      }
+      if (i == p) break;
+    }
+  }
+
+  /// Merge-path compose: per-bit sorted-vector unions capped at K.
+  bool composeMerge(NodeId v, std::uint64_t costed, Workspace& ws,
+                    Cut& out) const {
+    const Node& n = g.node(v);
+    out.kind = CutKind::Lut;
+    out.coneNodes = {v};
+    out.isUnit = true;
+    out.bitSupport.resize(n.width);
+    out.bitIsWire.assign(n.width, false);
+    for (std::size_t i = 0; i < n.operands.size(); ++i) {
+      if (ws.choices[i] != nullptr) {
+        out.isUnit = false;
+        for (const NodeId cn : ws.choices[i]->coneNodes) {
+          insertSorted(out.coneNodes, cn);
+        }
+      }
+    }
+
+    for (std::uint16_t j = 0; j < n.width; ++j) {
+      if (j < 64 && ((costed >> j) & 1) == 0) {
+        continue;  // skipped bit: empty support, never a wire
+      }
+      bool wireBit = ws.identity[j] && ws.deps[j].size() <= 1;
+      for (const DepBit& d : ws.deps[j]) {
         const Edge& e = n.operands[d.operandIndex];
-        if (choice[d.operandIndex] == nullptr) {
-          // Boundary bit of the fanin itself: a single sorted insert, no
-          // temporary set.
+        if (ws.choices[d.operandIndex] == nullptr) {
+          // Boundary bit of the fanin itself: a single sorted insert.
           SupportSet& sup = out.bitSupport[j];
           const BitKey key = makeBitKey(e.src, e.dist, d.bit);
           const auto it = std::lower_bound(sup.begin(), sup.end(), key);
           if (it == sup.end() || *it != key) sup.insert(it, key);
           if (static_cast<int>(sup.size()) > opts.k) return false;
         } else {
-          const Cut& c = *choice[d.operandIndex];
+          const Cut& c = *ws.choices[d.operandIndex];
           if (!unionIntoCapped(out.bitSupport[j], c.bitSupport[d.bit],
-                               scratch, opts.k)) {
+                               ws.scratch, opts.k)) {
             return false;  // support already exceeds K: cut is infeasible
           }
           if (!c.bitIsWire[d.bit]) wireBit = false;
@@ -192,67 +752,6 @@ struct Enumerator {
     return static_cast<int>(out.elements.size()) <= opts.maxElements;
   }
 
-  /// Recomputes the full candidate cut set of one LUT-mappable node from
-  /// the current cut sets of its fanins.
-  std::vector<Cut> candidates(NodeId v) {
-    const Node& n = g.node(v);
-    const std::size_t p = n.operands.size();
-
-    // Absorbable cuts per operand. Operands referencing the same
-    // (node, dist) share one choice slot for consistency.
-    std::vector<std::vector<Choice>> options(p);
-    std::vector<std::size_t> slotOf(p);  // first operand with same source
-    for (std::size_t i = 0; i < p; ++i) {
-      slotOf[i] = i;
-      for (std::size_t h = 0; h < i; ++h) {
-        if (n.operands[h].src == n.operands[i].src &&
-            n.operands[h].dist == n.operands[i].dist) {
-          slotOf[i] = h;
-          break;
-        }
-      }
-      if (slotOf[i] != i) continue;
-      options[i].push_back(nullptr);  // boundary
-      const Edge& e = n.operands[i];
-      if (e.dist != 0) continue;  // never expand through a register
-      if (!ir::isLutMappable(g.node(e.src).kind)) continue;
-      for (const Cut& c : cutsOf[e.src].cuts) {
-        if (c.kind == CutKind::Lut) options[i].push_back(&c);
-      }
-    }
-
-    std::vector<Cut> result;
-    std::vector<Choice> choice(p, nullptr);
-    std::vector<std::size_t> idx(p, 0);
-    while (true) {
-      for (std::size_t i = 0; i < p; ++i) {
-        choice[i] = options[slotOf[i]][idx[slotOf[i]]];
-      }
-      Cut cut;
-      if (compose(v, choice, cut)) result.push_back(std::move(cut));
-
-      // Advance the mixed-radix counter over the real slots.
-      std::size_t i = 0;
-      for (; i < p; ++i) {
-        if (slotOf[i] != i) continue;
-        if (++idx[i] < options[i].size()) break;
-        idx[i] = 0;
-      }
-      if (i == p) break;
-    }
-
-    // The unit cut can be K-infeasible for wide arithmetic: fall back to a
-    // carry-chain implementation so every node stays realizable.
-    const bool hasUnit =
-        std::any_of(result.begin(), result.end(),
-                    [](const Cut& c) { return c.isUnit; });
-    if (!hasUnit && ir::opClass(n.kind) == OpClass::Arith) {
-      result.push_back(makeCarryCut(g, v));
-    }
-    prune(result);
-    return result;
-  }
-
   void prune(std::vector<Cut>& cuts) const {
     // Deduplicate identical element sets, keeping the cheapest.
     std::sort(cuts.begin(), cuts.end(), [](const Cut& a, const Cut& b) {
@@ -265,6 +764,12 @@ struct Enumerator {
                            }),
                cuts.end());
 
+    // Per-cut element fingerprints: one-word subset pre-filter.
+    std::vector<std::uint64_t> fp(cuts.size());
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      fp[i] = cutFingerprint(cuts[i]);
+    }
+
     // Subset dominance: drop B when some A has a subset boundary and no
     // higher cost (selecting A constrains strictly fewer roots).
     std::vector<bool> dead(cuts.size(), false);
@@ -274,6 +779,7 @@ struct Enumerator {
         if (a == b || dead[b] || cuts[b].isUnit) continue;
         if (cuts[a].lutCost > cuts[b].lutCost) continue;
         if (cuts[a].elements.size() >= cuts[b].elements.size()) continue;
+        if ((fp[a] & ~fp[b]) != 0) continue;  // cannot be a subset
         if (std::includes(cuts[b].elements.begin(), cuts[b].elements.end(),
                           cuts[a].elements.begin(), cuts[a].elements.end())) {
           dead[b] = true;
@@ -306,15 +812,12 @@ struct Enumerator {
       if (!dead[i]) kept.push_back(std::move(cuts[i]));
     }
 
-    // Priority cap: deepest cones first (they enable fewer roots), always
-    // keeping the unit/carry fallback.
-    std::stable_sort(kept.begin(), kept.end(), [](const Cut& a, const Cut& b) {
-      if (a.coneNodes.size() != b.coneNodes.size()) {
-        return a.coneNodes.size() > b.coneNodes.size();
-      }
-      if (a.lutCost != b.lutCost) return a.lutCost < b.lutCost;
-      return a.elements.size() < b.elements.size();
-    });
+    // Priority stage: strategy ranking, always keeping the unit/carry
+    // fallback when the cap would drop it.
+    std::stable_sort(kept.begin(), kept.end(),
+                     [this](const Cut& a, const Cut& b) {
+                       return strategyBefore(opts.strategy, a, b);
+                     });
     if (static_cast<int>(kept.size()) > opts.maxCutsPerNode) {
       const auto unitIt = std::find_if(kept.begin(), kept.end(),
                                        [](const Cut& c) { return c.isUnit; });
@@ -331,54 +834,166 @@ struct Enumerator {
     cuts = std::move(kept);
   }
 
-  void run() {
-    // Algorithm 1: worklist over nodes in topological order.
-    std::deque<NodeId> work;
-    std::vector<bool> inList(g.size(), false);
-    for (const NodeId v : ir::topologicalOrder(g)) {
-      work.push_back(v);
-      inList[v] = true;
+  // --- per-node driver -----------------------------------------------------
+
+  /// Recomputes one node's cut set unless the memo says nothing it
+  /// depends on changed. Returns true when the set changed.
+  bool processNode(NodeId v, Workspace& ws) {
+    visits.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t key = nodeKey(v);
+    if (memoKey[v] == key) {
+      memoHits.fetch_add(1, std::memory_order_relaxed);
+      return false;
     }
-    const auto& fanouts = g.fanouts();
-    int iterations = opts.maxIterations;
-    while (!work.empty() && iterations-- > 0) {
-      const NodeId v = work.front();
-      work.pop_front();
-      inList[v] = false;
-      ++visits;
+    obs::Span span("cut_node", "cut_enum");
+    computed.fetch_add(1, std::memory_order_relaxed);
+    ws.arena.reset();
 
-      const Node& n = g.node(v);
-      std::vector<Cut> next;
-      switch (ir::opClass(n.kind)) {
-        case OpClass::Io:
-          if (n.kind == OpKind::Output) {
-            next.push_back(makePortCut(g, v, CutKind::Sink));
-          }
-          break;  // Input/Const: boundary-only, no selectable cuts
-        case OpClass::BlackBox:
-          next.push_back(makePortCut(g, v, CutKind::BlackBox));
-          break;
-        default:
-          next = candidates(v);
-          break;
-      }
-
-      bool changed = next.size() != cutsOf[v].cuts.size();
-      for (std::size_t i = 0; !changed && i < next.size(); ++i) {
-        changed = next[i].elements != cutsOf[v].cuts[i].elements ||
-                  next[i].lutCost != cutsOf[v].cuts[i].lutCost;
-      }
-      if (!changed) continue;
-      cutsOf[v].cuts = std::move(next);
-      for (const Graph::Fanout& f : fanouts[v]) {
-        if (!inList[f.dst]) {
-          work.push_back(f.dst);
-          inList[f.dst] = true;
+    const Node& n = g.node(v);
+    std::vector<Cut> next;
+    switch (ir::opClass(n.kind)) {
+      case OpClass::Io:
+        if (n.kind == OpKind::Output) {
+          next.push_back(makePortCut(g, v, CutKind::Sink));
         }
+        break;  // Input/Const: boundary-only, no selectable cuts
+      case OpClass::BlackBox:
+        next.push_back(makePortCut(g, v, CutKind::BlackBox));
+        break;
+      default:
+        candidates(v, ws, /*unitOnly=*/false);
+        next = std::move(ws.result);
+        ws.result = {};
+        break;
+    }
+
+    memoKey[v] = key;
+    bool changed = next.size() != cutsOf[v].cuts.size();
+    for (std::size_t i = 0; !changed && i < next.size(); ++i) {
+      changed = next[i].elements != cutsOf[v].cuts[i].elements ||
+                next[i].lutCost != cutsOf[v].cuts[i].lutCost;
+    }
+    if (!changed) return false;
+    cutsOf[v].cuts = std::move(next);
+    version[v] += 1;
+    return true;
+  }
+
+  /// Algorithm 1 as topological waves. Cut sets propagate only through
+  /// dist-0 edges, so nodes of equal level are independent: each wave
+  /// runs its nodes concurrently (chunked over `pool`), then back-edge
+  /// consumers of changed producers are re-visited — those re-visits
+  /// hit the memo, which is exactly what makes the fixpoint cheap.
+  void run(util::ThreadPool* pool, std::size_t* arenaPeak) {
+    const std::vector<NodeId> topo = ir::topologicalOrder(g);
+    std::vector<std::uint32_t> level(g.size(), 0);
+    std::uint32_t maxLevel = 0;
+    for (const NodeId v : topo) {
+      std::uint32_t l = 0;
+      for (const Edge& e : g.node(v).operands) {
+        if (e.dist == 0) l = std::max(l, level[e.src] + 1);
+      }
+      level[v] = l;
+      maxLevel = std::max(maxLevel, l);
+    }
+    std::vector<std::vector<NodeId>> waves(maxLevel + 1);
+    for (const NodeId v : topo) waves[level[v]].push_back(v);
+
+    const int workers = pool != nullptr ? pool->size() : 1;
+    std::vector<Workspace> ws(static_cast<std::size_t>(std::max(workers, 1)));
+    std::vector<NodeId> changed;
+    int iterations = opts.maxIterations;
+    for (const std::vector<NodeId>& wave : waves) {
+      if ((iterations -= static_cast<int>(wave.size())) < 0) break;
+      if (workers <= 1 || wave.size() < 2 * static_cast<std::size_t>(workers)) {
+        for (const NodeId v : wave) {
+          if (processNode(v, ws[0])) changed.push_back(v);
+        }
+        continue;
+      }
+      // Contiguous chunks, one workspace each; nodes write only their
+      // own cut set, so any interleaving yields identical output.
+      const std::size_t chunks = static_cast<std::size_t>(workers);
+      std::vector<std::vector<NodeId>> changedBy(chunks);
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = wave.size() * c / chunks;
+        const std::size_t hi = wave.size() * (c + 1) / chunks;
+        if (lo == hi) continue;
+        pool->submit([this, &wave, &ws, &changedBy, c, lo, hi] {
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (processNode(wave[i], ws[c])) changedBy[c].push_back(wave[i]);
+          }
+        });
+      }
+      pool->wait();
+      for (const auto& part : changedBy) {
+        changed.insert(changed.end(), part.begin(), part.end());
+      }
+    }
+
+    // Back-edge consumers of changed producers (loop-carried fanouts
+    // behind the wave front). Registers bound the cone, so their memo
+    // keys are unchanged — every one of these is a memo hit.
+    std::vector<NodeId> revisit;
+    const auto& fanouts = g.fanouts();
+    std::vector<std::uint32_t> topoPos(g.size(), 0);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      topoPos[topo[i]] = static_cast<std::uint32_t>(i);
+    }
+    for (const NodeId v : changed) {
+      for (const Graph::Fanout& f : fanouts[v]) {
+        if (g.node(f.dst).operands[f.operandIndex].dist == 0) continue;
+        if (topoPos[f.dst] <= topoPos[v]) revisit.push_back(f.dst);
+      }
+    }
+    std::sort(revisit.begin(), revisit.end());
+    revisit.erase(std::unique(revisit.begin(), revisit.end()), revisit.end());
+    for (const NodeId v : revisit) {
+      if (iterations-- <= 0) break;
+      processNode(v, ws[0]);
+    }
+
+    if (arenaPeak != nullptr) {
+      for (const Workspace& w : ws) {
+        *arenaPeak = std::max(*arenaPeak, w.arena.peakBytes());
       }
     }
   }
 };
+
+/// Resolved worker count for an enumeration over `g`. Requests beyond
+/// the machine's core count are clamped: per-node enumeration is
+/// compute-bound, so oversubscription only adds wave-barrier wakeups.
+/// The output is bit-identical either way; CutDatabase::threadsUsed
+/// records what actually ran.
+int effectiveThreads(const CutEnumOptions& opts, const Graph& g) {
+  const int hw = util::ThreadPool::defaultThreads();
+  int t = opts.threads;
+  if (t == 0) t = hw;
+  // Negative counts are the testing hook: exactly -t workers, no
+  // hardware clamp and no tiny-graph shortcut, so the parallel path
+  // runs (and is sanitizer-checked) even on single-core machines.
+  if (t < 0) return std::max(1, -t);
+  t = std::min(t, hw);
+  // Tiny graphs cannot amortize a wave barrier.
+  if (g.size() < 32) t = 1;
+  return t;
+}
+
+void recordMetrics(const CutDatabase& db) {
+  auto& reg = obs::Registry::global();
+  reg.counter("lamp_cutenum_nodes_total",
+              "Cut sets (re)computed by the enumerator")
+      .inc(db.nodesComputed);
+  reg.counter("lamp_cutenum_memo_hits_total",
+              "Worklist visits answered by the per-node memo")
+      .inc(db.memoHits);
+  reg.counter("lamp_cutenum_cuts_total", "Cuts produced by the enumerator")
+      .inc(db.totalCuts);
+  reg.gauge("lamp_cutenum_arena_peak_bytes",
+            "Peak live bytes in the signature arenas of the last run")
+      .set(static_cast<double>(db.arenaPeakBytes));
+}
 
 }  // namespace
 
@@ -411,13 +1026,22 @@ CutDatabase enumerateCuts(const Graph& g, const CutEnumOptions& opts) {
   obs::Span span("cut_enum", "flow");
   const auto start = std::chrono::steady_clock::now();
   Enumerator e(g, opts);
-  e.run();
   CutDatabase db;
+  db.threadsUsed = effectiveThreads(opts, g);
+  if (db.threadsUsed > 1) {
+    util::ThreadPool pool(db.threadsUsed);
+    e.run(&pool, &db.arenaPeakBytes);
+  } else {
+    e.run(nullptr, &db.arenaPeakBytes);
+  }
   db.cutsOf = std::move(e.cutsOf);
-  db.worklistVisits = e.visits;
+  db.worklistVisits = e.visits.load(std::memory_order_relaxed);
+  db.memoHits = e.memoHits.load(std::memory_order_relaxed);
+  db.nodesComputed = e.computed.load(std::memory_order_relaxed);
   for (const CutSet& cs : db.cutsOf) db.totalCuts += cs.cuts.size();
-  span.endArgs(obs::traceArg("totalCuts",
-                             static_cast<double>(db.totalCuts)));
+  recordMetrics(db);
+  span.endArgs("{\"totalCuts\":" + std::to_string(db.totalCuts) +
+               ",\"memoHits\":" + std::to_string(db.memoHits) + "}");
   db.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -428,7 +1052,8 @@ CutDatabase trivialCuts(const Graph& g, const CutEnumOptions& opts) {
   const auto start = std::chrono::steady_clock::now();
   CutDatabase db;
   db.cutsOf.resize(g.size());
-  Enumerator e(g, opts);  // reuse compose() for unit cuts
+  Enumerator e(g, opts);  // reuse the unit-cut composition path
+  Workspace ws;
   for (NodeId v = 0; v < g.size(); ++v) {
     const Node& n = g.node(v);
     switch (ir::opClass(n.kind)) {
@@ -441,10 +1066,10 @@ CutDatabase trivialCuts(const Graph& g, const CutEnumOptions& opts) {
         db.cutsOf[v].cuts.push_back(makePortCut(g, v, CutKind::BlackBox));
         break;
       default: {
-        const std::vector<Choice> choice(n.operands.size(), nullptr);
-        Cut unit;
-        if (e.compose(v, choice, unit)) {
-          db.cutsOf[v].cuts.push_back(std::move(unit));
+        ws.arena.reset();
+        e.candidates(v, ws, /*unitOnly=*/true);
+        if (!ws.result.empty()) {
+          db.cutsOf[v].cuts.push_back(std::move(ws.result.front()));
         } else {
           db.cutsOf[v].cuts.push_back(makeCarryCut(g, v));
         }
@@ -453,6 +1078,7 @@ CutDatabase trivialCuts(const Graph& g, const CutEnumOptions& opts) {
     }
     db.totalCuts += db.cutsOf[v].cuts.size();
   }
+  db.arenaPeakBytes = ws.arena.peakBytes();
   db.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

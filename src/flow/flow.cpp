@@ -1,5 +1,7 @@
 #include "flow/flow.h"
 
+#include <limits>
+
 #include "analyze/dataflow.h"
 #include "ir/simplify.h"
 #include "map/area.h"
@@ -46,6 +48,60 @@ bool parseMethodToken(std::string_view token, Method& out) {
 }
 
 namespace {
+
+/// Mapping-Fusion style strategy racing: one enumeration per ranking
+/// strategy, each scored by the cost of its greedy mapping-aware
+/// covering at this II (alpha * LUTs + beta * register bits). The
+/// cheapest database wins; ties keep the earliest strategy in
+/// cut::allCutStrategies() order (DepthAware first), so racing never
+/// changes a result unless another ranking strictly improves it.
+cut::CutDatabase raceCutStrategyDatabases(const Benchmark& bm,
+                                          const FlowOptions& opts,
+                                          const cut::CutEnumOptions& mapCuts,
+                                          int ii,
+                                          cut::CutStrategy& winner) {
+  const obs::Span span("cut_strategy_race", "flow");
+  cut::CutDatabase best;
+  double bestCost = std::numeric_limits<double>::infinity();
+  bool haveAny = false;
+  for (const cut::CutStrategy s : cut::allCutStrategies()) {
+    cut::CutEnumOptions o = mapCuts;
+    o.strategy = s;
+    cut::CutDatabase db = cut::enumerateCuts(bm.graph, o);
+    // Strategies whose greedy covering fails (or fails validation) race
+    // with infinite cost: they can still win only if every strategy
+    // fails, in which case the first (DepthAware) database is kept and
+    // the MILP decides on its own.
+    double cost = std::numeric_limits<double>::infinity();
+    sched::SdcOptions go;
+    go.ii = ii;
+    go.tcpNs = opts.tcpNs;
+    go.resources = bm.resources;
+    const sched::SdcResult greedy =
+        sched::greedyMapSchedule(bm.graph, db, opts.delays, go);
+    if (greedy.success &&
+        sched::validateSchedule(
+            {bm.graph, db, opts.delays, bm.resources, mapCuts.facts},
+            greedy.schedule) == std::nullopt) {
+      double lutCost = 0.0;
+      for (ir::NodeId v = 0; v < bm.graph.size(); ++v) {
+        if (greedy.schedule.isRoot(v)) {
+          lutCost += db.at(v).cuts[greedy.schedule.selectedCut[v]].lutCost;
+        }
+      }
+      cost = opts.alpha * lutCost +
+             opts.beta * map::countRegisterBits(bm.graph, greedy.schedule,
+                                                opts.delays);
+    }
+    if (!haveAny || cost < bestCost) {
+      haveAny = true;
+      bestCost = cost;
+      winner = s;
+      best = std::move(db);
+    }
+  }
+  return best;
+}
 
 /// Keeps every diagnostic: later failures append to earlier ones (e.g.
 /// the solver-cap fallback reason) instead of replacing them.
@@ -305,9 +361,15 @@ FlowResult runFlowAtIi(const Benchmark& bm, Method method,
   const ir::BitFacts* dbFacts = method == Method::MilpMap ? facts : nullptr;
 
   const util::Stopwatch cutWatch;
+  cut::CutStrategy usedStrategy = mapCuts.strategy;
   const cut::CutDatabase db =
-      method == Method::MilpMap ? cut::enumerateCuts(bm.graph, mapCuts)
-                                : cut::trivialCuts(bm.graph, baseCuts);
+      method == Method::MilpMap
+          ? (opts.raceCutStrategies
+                 ? raceCutStrategyDatabases(bm, opts, mapCuts, ii,
+                                            usedStrategy)
+                 : cut::enumerateCuts(bm.graph, mapCuts))
+          : cut::trivialCuts(bm.graph, baseCuts);
+  result.cutStrategy = usedStrategy;
   const cut::CutDatabase trivial =
       method == Method::MilpMap ? cut::trivialCuts(bm.graph, baseCuts) : db;
   result.phases.cutEnum = cutWatch.seconds();

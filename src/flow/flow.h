@@ -17,6 +17,7 @@
 
 #include "analyze/analyze.h"
 #include "analyze/dataflow.h"
+#include "cut/cut.h"
 #include "map/area.h"
 #include "sched/milp_sched.h"
 #include "sched/sdc.h"
@@ -46,6 +47,14 @@ struct FlowOptions {
   /// Extra pipeline-latency slack on top of the SDC schedule's latency.
   int latencyMargin = 1;
   cut::CutEnumOptions cuts;
+  /// Race every cut-ranking strategy for the mapping-aware arm: one
+  /// enumeration per strategy, each scored by its greedy mapping-aware
+  /// covering's cost (alpha * LUTs + beta * register bits), keeping the
+  /// cheapest database (Mapping-Fusion style). Ties keep the earliest
+  /// strategy in cut::allCutStrategies() order — DepthAware first — so
+  /// racing never changes a result unless another strategy strictly
+  /// wins. The winner is reported in FlowResult::cutStrategy.
+  bool raceCutStrategies = false;
   sched::DelayModel delays;
   /// Verify each schedule functionally against the interpreter using
   /// this many random input frames (0 disables).
@@ -128,6 +137,12 @@ struct FlowResult {
   double objective = 0.0;
 
   bool functionallyVerified = false;
+
+  /// Cut-ranking strategy whose database produced this result: the
+  /// racing winner under FlowOptions::raceCutStrategies, otherwise the
+  /// configured CutEnumOptions::strategy (only meaningful for the
+  /// mapping-aware arm; the additive arms use unit cuts).
+  cut::CutStrategy cutStrategy = cut::CutStrategy::DepthAware;
 
   /// Findings of the pre-solve static analysis (analyze::analyzeGraph),
   /// always populated — Warnings/Infos on successful runs too. When the

@@ -105,6 +105,8 @@ Json resultToJson(const FlowResult& r) {
   solver.set("numConstraints",
              Json::integer(static_cast<std::int64_t>(r.numConstraints)));
   solver.set("numCuts", Json::integer(static_cast<std::int64_t>(r.numCuts)));
+  solver.set("cutStrategy",
+             Json::string(std::string(cut::cutStrategyName(r.cutStrategy))));
   // Per-phase wall seconds: the breakdown the legacy two scalars sum
   // over. Rides every serialized result, so cached daemon hits replay
   // the original run's telemetry bit-identically.
@@ -208,6 +210,13 @@ bool resultFromJson(const Json& j, FlowResult& out, std::string* error) {
     out.numConstraints = nc ? static_cast<std::size_t>(nc->asInt(0)) : 0;
     const Json* nk = solver->find("numCuts");
     out.numCuts = nk ? static_cast<std::size_t>(nk->asInt(0)) : 0;
+    // Absent in results cached before cut strategies existed; those ran
+    // the historical DepthAware ranking, which is the field's default.
+    if (const Json* cs = solver->find("cutStrategy")) {
+      if (!cut::parseCutStrategy(cs->asString(), out.cutStrategy)) {
+        return fail("bad cutStrategy");
+      }
+    }
     // Absent in results cached before the phase breakdown existed.
     if (const Json* ph = solver->find("phaseSeconds");
         ph != nullptr && ph->isObject()) {
@@ -263,6 +272,10 @@ Json optionsToJson(const FlowOptions& o) {
   j.set("verifyFrames", Json::integer(o.verifyFrames));
   j.set("verifySeed", Json::integer(o.verifySeed));
   j.set("solverThreads", Json::integer(o.solverThreads));
+  j.set("cutStrategy",
+        Json::string(std::string(cut::cutStrategyName(o.cuts.strategy))));
+  j.set("cutThreads", Json::integer(o.cuts.threads));
+  j.set("raceCutStrategies", Json::integer(o.raceCutStrategies ? 1 : 0));
   j.set("simplify", Json::integer(o.simplify ? 1 : 0));
   j.set("emitAnalysis", Json::integer(o.emitAnalysis ? 1 : 0));
   return j;
@@ -276,6 +289,14 @@ bool optionsFromJson(const Json& j, FlowOptions& out, std::string* error) {
   if (j.isNull()) return true;  // absent options object = all defaults
   if (!j.isObject()) return fail("options is not an object");
   for (const auto& [key, value] : j.members()) {
+    if (key == "cutStrategy") {
+      // The one string-valued option: a cutStrategyName() token.
+      if (!value.isString() ||
+          !cut::parseCutStrategy(value.asString(), out.cuts.strategy)) {
+        return fail("bad cutStrategy '" + value.asString() + "'");
+      }
+      continue;
+    }
     if (!value.isNumber()) return fail("option '" + key + "' is not a number");
     if (key == "ii") {
       out.ii = static_cast<int>(value.asInt());
@@ -297,6 +318,10 @@ bool optionsFromJson(const Json& j, FlowOptions& out, std::string* error) {
       out.verifySeed = static_cast<std::uint32_t>(value.asInt());
     } else if (key == "solverThreads") {
       out.solverThreads = static_cast<int>(value.asInt());
+    } else if (key == "cutThreads") {
+      out.cuts.threads = static_cast<int>(value.asInt());
+    } else if (key == "raceCutStrategies") {
+      out.raceCutStrategies = value.asInt() != 0;
     } else if (key == "simplify") {
       out.simplify = value.asInt() != 0;
     } else if (key == "emitAnalysis") {
@@ -315,12 +340,19 @@ std::string hardOptionKey(Method m, const FlowOptions& o) {
   // v2: simplify/emitAnalysis joined the key — a schedule solved over
   // the rewritten graph must never warm-start (or answer) a request for
   // the original one, and vice versa.
-  std::string key = "v2;m=";
+  // v3: cut strategy and strategy racing joined — both change which cuts
+  // survive the priority cap and hence the MILP's selection space.
+  // cuts.threads stays out: enumeration is bit-identical at every
+  // thread count.
+  std::string key = "v3;m=";
   key += methodToken(m);
   key += ";ii=" + std::to_string(o.ii);
   key += ";a=" + numKey(o.alpha);
   key += ";b=" + numKey(o.beta);
   key += ";k=" + std::to_string(o.cuts.k);
+  key += ";cs=";
+  key += cut::cutStrategyName(o.cuts.strategy);
+  key += ";rs=" + std::to_string(o.raceCutStrategies ? 1 : 0);
   key += ";lm=" + std::to_string(o.latencyMargin);
   key += ";vf=" + std::to_string(o.verifyFrames);
   key += ";vs=" + std::to_string(o.verifySeed);

@@ -1,0 +1,121 @@
+#ifndef LAMP_UTIL_ARENA_H
+#define LAMP_UTIL_ARENA_H
+
+/// \file arena.h
+/// Chunked bump allocator for short-lived, bulk-freed workloads (the cut
+/// enumerator's per-node scratch signatures). allocate() is a pointer
+/// bump; reset() recycles every chunk without returning memory to the
+/// system, so a steady-state consumer stops calling malloc entirely
+/// after the first few nodes warm the chunk list up.
+///
+/// Not thread-safe: concurrent users own one Arena each (the enumerator
+/// keeps one per worker slice).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace lamp::util {
+
+class Arena {
+ public:
+  /// `chunkBytes` is the granularity of system allocations; oversized
+  /// requests get a dedicated chunk of their exact size.
+  explicit Arena(std::size_t chunkBytes = 64 * 1024)
+      : chunkBytes_(chunkBytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized storage for `n` objects of T. T must be trivially
+  /// destructible — reset() never runs destructors.
+  template <typename T>
+  T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is bulk-freed without destructor calls");
+    return static_cast<T*>(allocateBytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialized array of `n` T (T must be trivially copyable).
+  template <typename T>
+  T* allocateZeroed(std::size_t n) {
+    T* p = allocate<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+
+  void* allocateBytes(std::size_t bytes, std::size_t align) {
+    std::size_t p = (cursor_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || p + bytes > currentSize_) {
+      grow(bytes + align);
+      p = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    liveBytes_ += bytes;
+    if (liveBytes_ > peakBytes_) peakBytes_ = liveBytes_;
+    return current_ + p;
+  }
+
+  /// Recycles every chunk (capacity is kept, contents become garbage).
+  void reset() {
+    liveBytes_ = 0;
+    cursor_ = 0;
+    chunkIndex_ = 0;
+    current_ = chunks_.empty() ? nullptr : chunks_[0].data.get();
+    currentSize_ = chunks_.empty() ? 0 : chunks_[0].size;
+  }
+
+  /// Largest sum of live allocation sizes seen since construction
+  /// (survives reset(); the enumerator reports it per run).
+  std::size_t peakBytes() const { return peakBytes_; }
+
+  /// Total bytes reserved from the system across all chunks.
+  std::size_t reservedBytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t need) {
+    // Advance through already-reserved chunks before allocating new ones.
+    while (chunkIndex_ + 1 < chunks_.size()) {
+      ++chunkIndex_;
+      if (chunks_[chunkIndex_].size >= need) {
+        current_ = chunks_[chunkIndex_].data.get();
+        currentSize_ = chunks_[chunkIndex_].size;
+        cursor_ = 0;
+        return;
+      }
+    }
+    const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
+    chunks_.push_back({std::make_unique<char[]>(size), size});
+    chunkIndex_ = chunks_.size() - 1;
+    current_ = chunks_.back().data.get();
+    currentSize_ = size;
+    cursor_ = 0;
+  }
+
+  std::size_t chunkBytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunkIndex_ = 0;
+  char* current_ = nullptr;
+  std::size_t currentSize_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t liveBytes_ = 0;
+  std::size_t peakBytes_ = 0;
+};
+
+}  // namespace lamp::util
+
+#endif  // LAMP_UTIL_ARENA_H

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_cutenum.json against the committed baseline.
+
+Advisory by default (mirrors tools/run-tidy.sh): regressions are printed
+but the exit code stays 0 so the ctest lane never fails on machine noise
+— pass --strict to turn findings into a non-zero exit for CI lanes that
+want to gate on it.
+
+Modes:
+  --current FILE   compare an existing BENCH_cutenum.json
+  --bench BIN      run the micro_cutenum binary into a scratch dir first
+                   (what the bench_cutenum_regression ctest does)
+
+A timing row regresses when msPerIter exceeds baseline * --tolerance
+(default 2.0 — generous because ctest boxes are noisy and shared).
+A quality row regresses when greedyLutCost exceeds the baseline at all:
+mapping quality is deterministic, so any increase is a real regression.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_bench(binary, scratch):
+    env = dict(os.environ)
+    env["LAMP_BENCH_OUT"] = scratch
+    # Fewer iterations than the default: this is a regression tripwire,
+    # not the measurement of record (that one is committed).
+    env.setdefault("LAMP_BENCH_ITERS", "15")
+    subprocess.run([binary], check=True, env=env, stdout=subprocess.DEVNULL)
+    return os.path.join(scratch, "BENCH_cutenum.json")
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--current", help="existing BENCH_cutenum.json to check")
+    p.add_argument("--bench", help="micro_cutenum binary to run first")
+    p.add_argument("--tolerance", type=float, default=2.0,
+                   help="allowed msPerIter ratio vs baseline (default 2.0)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when a regression is found")
+    args = p.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"baseline {args.baseline} missing; skipping", file=sys.stderr)
+        return 77
+
+    if args.bench:
+        with tempfile.TemporaryDirectory() as scratch:
+            current = load(run_bench(args.bench, scratch))
+            return check(current, load(args.baseline), args)
+    if not args.current or not os.path.exists(args.current):
+        print("no --current file and no --bench binary; skipping",
+              file=sys.stderr)
+        return 77
+    return check(load(args.current), load(args.baseline), args)
+
+
+def check(current, baseline, args):
+    regressions = []
+    checked = 0
+    for row in current.get("rows", []):
+        base = baseline.get(row.get("benchmark", ""))
+        if not isinstance(base, dict):
+            continue
+        name = f"{row['benchmark']} t={row.get('threads', '?')}"
+        ms, base_ms = row.get("msPerIter", 0.0), base.get("msPerIter", 0.0)
+        if base_ms > 0 and ms > base_ms * args.tolerance:
+            regressions.append(
+                f"{name}: {ms:.3f} ms/iter vs baseline {base_ms:.3f} "
+                f"(> {args.tolerance:.2f}x)")
+        lut, base_lut = row.get("greedyLutCost", -1), base.get(
+            "greedyLutCost", -1)
+        if base_lut >= 0 and lut > base_lut:
+            regressions.append(
+                f"{name}: greedy mapping LUT cost {lut} vs baseline "
+                f"{base_lut} (quality regression)")
+        checked += 1
+
+    if checked == 0:
+        print("no overlapping benchmarks between current and baseline; "
+              "skipping", file=sys.stderr)
+        return 77
+    if regressions:
+        print(f"{len(regressions)} cut-enumeration regression(s) vs "
+              f"{len(baseline)} baseline entries:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1 if args.strict else 0
+    print(f"ok: {checked} rows within {args.tolerance:.2f}x of baseline, "
+          "no mapping-quality regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,13 @@
 //   --ii=N                 target initiation interval (default 1)
 //   --tcp=NS               target clock period in ns (default 10)
 //   --k=K                  LUT input count (default 4)
+//   --cut-strategy=S       cut ranking: depth|area|support|balanced
+//                          (default depth, the historical ordering)
+//   --race-strategies      enumerate once per strategy and keep the
+//                          database whose greedy covering costs least
+//   --cut-threads=N        worker threads for cut enumeration (0 = one
+//                          per hardware thread; output is identical at
+//                          any thread count)
 //   --alpha=A --beta=B     objective weights (default 0.5 / 0.5)
 //   --time-limit=SEC       MILP wall-clock cap (default 20)
 //   --threads=N            branch & bound worker threads for the MILP
@@ -71,6 +78,9 @@ struct Args {
   int ii = 1;
   double tcp = 10.0;
   int k = 4;
+  cut::CutStrategy cutStrategy = cut::CutStrategy::DepthAware;
+  bool raceStrategies = false;
+  int cutThreads = 1;
   double alpha = 0.5, beta = 0.5;
   double timeLimit = 20.0;
   int threads = 0;  // auto
@@ -103,6 +113,16 @@ bool parseArgs(int argc, char** argv, Args& a, std::string& err) {
       a.tcp = std::stod(valueOf(s));
     } else if (s.rfind("--k=", 0) == 0) {
       a.k = std::stoi(valueOf(s));
+    } else if (s.rfind("--cut-strategy=", 0) == 0) {
+      if (!cut::parseCutStrategy(valueOf(s), a.cutStrategy)) {
+        err = "unknown cut strategy '" + valueOf(s) +
+              "' (want depth|area|support|balanced)";
+        return false;
+      }
+    } else if (s == "--race-strategies") {
+      a.raceStrategies = true;
+    } else if (s.rfind("--cut-threads=", 0) == 0) {
+      a.cutThreads = std::stoi(valueOf(s));
     } else if (s.rfind("--alpha=", 0) == 0) {
       a.alpha = std::stod(valueOf(s));
     } else if (s.rfind("--beta=", 0) == 0) {
@@ -258,6 +278,9 @@ int main(int argc, char** argv) {
   opts.alpha = a.alpha;
   opts.beta = a.beta;
   opts.cuts.k = a.k;
+  opts.cuts.strategy = a.cutStrategy;
+  opts.cuts.threads = a.cutThreads;
+  opts.raceCutStrategies = a.raceStrategies;
   opts.solverTimeLimitSeconds = a.timeLimit;
   opts.solverThreads = a.threads;
   opts.simplify = a.simplify;
@@ -363,6 +386,11 @@ int main(int argc, char** argv) {
               << "  LUTs " << result.area.luts << ", FFs " << result.area.ffs
               << ", stages " << result.area.stages << ", CP "
               << result.area.cpNs << " ns\n";
+    if (a.raceStrategies && a.method == "map") {
+      std::cout << "  cut strategy: "
+                << cut::cutStrategyName(result.cutStrategy)
+                << " (won the race)\n";
+    }
     std::cout << map::timingSummary(result.area, opts.tcpNs);
   }
   if (a.emitSchedule) {
